@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build vet test bench cover reproduce observations examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure of the paper (quick fig2 pass).
+reproduce:
+	$(GO) run ./cmd/tbd run -quick all
+
+observations:
+	$(GO) run ./cmd/tbd observations
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/translation
+	$(GO) run ./examples/memprofile
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/toolchain
+	$(GO) run ./examples/pong_a3c
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,72 @@
+// Memprofile: the paper's memory-profiler story (Figure 9, Observations
+// 11 and 12) across the whole suite.
+//
+// For each benchmark it prints the per-category breakdown at its largest
+// batch (feature maps dominate everywhere), shows the linear growth of
+// feature-map memory with batch size, and computes the largest batch that
+// fits each modeled GPU — including the NMT-vs-Sockeye asymmetry.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tbd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gb := func(v int64) float64 { return float64(v) / (1 << 30) }
+
+	fmt.Println("== Memory breakdown at each benchmark's largest batch ==")
+	fmt.Printf("%-14s %-12s %-7s %9s %9s %9s %9s %9s %8s\n",
+		"Model", "Framework", "Batch", "FeatMaps", "Weights", "Grads", "Dynamic", "Wkspace", "FMshare")
+	for _, b := range tbd.Benchmarks() {
+		fw := b.Frameworks[0]
+		batch := b.BatchSizes[len(b.BatchSizes)-1]
+		bd, err := tbd.ProfileMemory(b.Name, fw, batch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %-12s %-7d %8.2fG %8.2fG %8.2fG %8.2fG %8.2fG %7.0f%%\n",
+			b.Name, fw, batch, gb(bd.FeatureMaps), gb(bd.Weights), gb(bd.WeightGradients),
+			gb(bd.Dynamic), gb(bd.Workspace), 100*bd.FeatureMapShare())
+	}
+
+	fmt.Println("\n== Feature maps scale linearly with batch (ResNet-50, MXNet) ==")
+	for _, batch := range []int{8, 16, 32, 64} {
+		bd, err := tbd.ProfileMemory("ResNet-50", "MXNet", batch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  batch %3d: feature maps %5.2f GB, weights %4.2f GB, total %5.2f GB\n",
+			batch, gb(bd.FeatureMaps), gb(bd.Weights), gb(bd.Total()))
+	}
+
+	fmt.Println("\n== Largest sweep batch that fits each GPU ==")
+	for _, cfg := range []struct{ model, fw string }{
+		{"ResNet-50", "TensorFlow"},
+		{"Seq2Seq", "TensorFlow"},
+		{"Seq2Seq", "MXNet"},
+		{"Deep Speech 2", "MXNet"},
+	} {
+		p4, err := tbd.MaxBatch(cfg.model, cfg.fw, 8<<30)
+		if err != nil {
+			return err
+		}
+		xp, err := tbd.MaxBatch(cfg.model, cfg.fw, 12<<30)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-14s on %-12s: batch %3d fits 8 GB (P4000), %3d fits 12 GB (Titan Xp)\n",
+			cfg.model, cfg.fw, p4, xp)
+	}
+	fmt.Println("\nmemprofile: OK")
+	return nil
+}

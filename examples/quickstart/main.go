@@ -1,0 +1,80 @@
+// Quickstart: the two halves of TBD in one program.
+//
+// First it exercises the analysis toolchain through the public API —
+// profiling ResNet-50 training across all three framework profiles and
+// batch sizes (the Figure 4/5/6 sweep for one model). Then it drops down
+// to the training engine and actually trains a small CNN on synthetic
+// ImageNet-like data, with live throughput measurement (including warm-up
+// detection, §3.4.2) and a live memory breakdown.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tbd"
+	"tbd/internal/data"
+	"tbd/internal/graph"
+	"tbd/internal/memprof"
+	"tbd/internal/metrics"
+	"tbd/internal/models"
+	"tbd/internal/optim"
+	"tbd/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== The TBD benchmark suite (Table 2) ==")
+	for _, b := range tbd.Benchmarks() {
+		fmt.Printf("  %-14s %-28s on %v\n", b.Name, b.Application, b.Frameworks)
+	}
+
+	fmt.Println("\n== Simulated ResNet-50 training sweep (Quadro P4000) ==")
+	fmt.Printf("%-12s %-7s %-14s %-10s %-10s\n", "Framework", "Batch", "Throughput", "GPU util", "FP32 util")
+	for _, fw := range tbd.Frameworks() {
+		for _, batch := range []int{8, 32, 64} {
+			p, err := tbd.ProfileTraining("ResNet-50", fw, "", batch)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %-7d %-14.1f %-10.1f %-10.1f\n",
+				fw, batch, p.Throughput, 100*p.GPUUtil, 100*p.FP32Util)
+		}
+	}
+
+	fmt.Println("\n== Real training: a small residual CNN on synthetic images ==")
+	rng := tensor.NewRNG(42)
+	src := data.NewImageSource(rng, 1, 8, 8, 4, 0.3)
+	net := models.NumericResNet(rng, 1, 8, 4)
+	opt := optim.NewAdam(0.01)
+	meter := metrics.NewMeter(16)
+
+	var last graph.StepResult
+	for step := 0; step < 150; step++ {
+		b := src.Batch(16)
+		start := time.Now()
+		last = graph.TrainClassifierStep(net, opt, b.X, b.Labels, 5)
+		meter.Record(time.Since(start).Seconds())
+		if (step+1)%30 == 0 {
+			fmt.Printf("  step %3d: loss %.3f accuracy %.2f\n", step+1, last.Loss, last.Accuracy)
+		}
+	}
+	w := meter.Sample(0.25, 100)
+	fmt.Printf("  steady-state throughput: %.0f samples/s (sampled %d iterations from %d)\n",
+		w.Throughput, w.Count, meter.Iterations())
+
+	bd := memprof.ProfileNetwork(net, 0, false)
+	fmt.Printf("  live memory: %s\n", bd)
+	if last.Accuracy < 0.8 {
+		return fmt.Errorf("training did not converge (accuracy %.2f)", last.Accuracy)
+	}
+	fmt.Println("\nquickstart: OK")
+	return nil
+}

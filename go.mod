@@ -1,0 +1,3 @@
+module tbd
+
+go 1.22

@@ -1,0 +1,198 @@
+package atari
+
+import "tbd/internal/tensor"
+
+// Breakout is a second classic game for the RL substrate (the paper's
+// A3C "works across various classical computer games"): a paddle, a
+// ball, and a wall of bricks. Reward is +1 per brick; the episode ends
+// when all bricks are cleared or the agent drops the ball Lives times.
+type Breakout struct {
+	rng  *tensor.RNG
+	size int
+
+	ballX, ballY float64
+	velX, velY   float64
+	paddleX      float64
+	bricks       []bool // row-major brickRows x brickCols
+	lives        int
+	score        int
+	frames       [][]float32
+}
+
+// Breakout geometry.
+const (
+	brickRows  = 4
+	brickCols  = 8
+	brickTop   = 0.08 // wall occupies [brickTop, brickBottom] vertically
+	brickBot   = 0.28
+	bkPaddleY  = 0.95
+	bkPaddleHW = 0.08
+	bkStep     = 0.05
+	bkSpeed    = 0.03
+	startLives = 3
+)
+
+// NewBreakout creates a Breakout environment rendering size x size
+// frames with a 4-frame observation stack.
+func NewBreakout(rng *tensor.RNG, size int) *Breakout {
+	b := &Breakout{rng: rng, size: size}
+	b.Reset()
+	return b
+}
+
+// Reset starts a new episode and returns the initial observation.
+func (b *Breakout) Reset() *tensor.Tensor {
+	b.bricks = make([]bool, brickRows*brickCols)
+	for i := range b.bricks {
+		b.bricks[i] = true
+	}
+	b.lives = startLives
+	b.score = 0
+	b.paddleX = 0.5
+	b.serve()
+	b.frames = nil
+	f := b.render()
+	for i := 0; i < 4; i++ {
+		b.frames = append(b.frames, f)
+	}
+	return b.observation()
+}
+
+func (b *Breakout) serve() {
+	b.ballX, b.ballY = 0.5, 0.6
+	b.velX = bkSpeed * (b.rng.Float64() - 0.5) * 2
+	if b.velX > -0.005 && b.velX < 0.005 {
+		b.velX = 0.01
+	}
+	b.velY = -bkSpeed
+}
+
+// Score returns bricks broken this episode.
+func (b *Breakout) Score() int { return b.score }
+
+// Lives returns remaining lives.
+func (b *Breakout) Lives() int { return b.lives }
+
+// Done reports episode end.
+func (b *Breakout) Done() bool {
+	return b.lives <= 0 || b.score == brickRows*brickCols
+}
+
+// Step advances one frame under the action (Stay/Up=left/Down=right,
+// reusing the shared Action type with horizontal semantics).
+func (b *Breakout) Step(a Action) (obs *tensor.Tensor, reward float64, done bool) {
+	switch a {
+	case Up: // left
+		b.paddleX -= bkStep
+	case Down: // right
+		b.paddleX += bkStep
+	}
+	b.paddleX = clamp(b.paddleX, bkPaddleHW, 1-bkPaddleHW)
+
+	b.ballX += b.velX
+	b.ballY += b.velY
+	// Side and top walls.
+	if b.ballX < 0 {
+		b.ballX, b.velX = -b.ballX, -b.velX
+	}
+	if b.ballX > 1 {
+		b.ballX, b.velX = 2-b.ballX, -b.velX
+	}
+	if b.ballY < 0 {
+		b.ballY, b.velY = -b.ballY, -b.velY
+	}
+	// Bricks.
+	if b.ballY >= brickTop && b.ballY <= brickBot && b.velY < 0 || (b.ballY >= brickTop && b.ballY <= brickBot && b.velY > 0) {
+		row := int((b.ballY - brickTop) / ((brickBot - brickTop) / brickRows))
+		col := int(b.ballX * brickCols)
+		if row >= 0 && row < brickRows && col >= 0 && col < brickCols {
+			idx := row*brickCols + col
+			if b.bricks[idx] {
+				b.bricks[idx] = false
+				b.score++
+				reward = 1
+				b.velY = -b.velY
+			}
+		}
+	}
+	// Paddle.
+	if b.ballY >= bkPaddleY && b.velY > 0 {
+		if diff := b.ballX - b.paddleX; diff > -bkPaddleHW && diff < bkPaddleHW {
+			b.velY = -b.velY
+			b.velX += diff * 0.1
+			b.ballY = bkPaddleY
+		} else if b.ballY > 1 {
+			// Dropping the ball costs a life and a -1 reward (denser
+			// credit than the bare game score, which the trainer needs
+			// at twin scale).
+			b.lives--
+			reward -= 1
+			if b.lives > 0 {
+				b.serve()
+			}
+		}
+	}
+
+	b.frames = append(b.frames[1:], b.render())
+	return b.observation(), reward, b.Done()
+}
+
+// State exposes compact features: ball position/velocity, paddle, and
+// remaining-brick fraction.
+func (b *Breakout) State() []float32 {
+	remaining := 0
+	for _, alive := range b.bricks {
+		if alive {
+			remaining++
+		}
+	}
+	return []float32{
+		float32(b.ballX), float32(b.ballY),
+		float32(b.velX / bkSpeed), float32(b.velY / bkSpeed),
+		float32(b.paddleX),
+		float32(remaining) / float32(brickRows*brickCols),
+	}
+}
+
+func (b *Breakout) render() []float32 {
+	s := b.size
+	f := make([]float32, s*s)
+	// Bricks.
+	for row := 0; row < brickRows; row++ {
+		yTop := brickTop + float64(row)*(brickBot-brickTop)/brickRows
+		py := clampInt(int(yTop*float64(s)), 0, s-1)
+		for col := 0; col < brickCols; col++ {
+			if !b.bricks[row*brickCols+col] {
+				continue
+			}
+			x0 := clampInt(int(float64(col)/brickCols*float64(s)), 0, s-1)
+			x1 := clampInt(int(float64(col+1)/brickCols*float64(s))-1, 0, s-1)
+			for x := x0; x <= x1; x++ {
+				f[py*s+x] = 1
+			}
+		}
+	}
+	// Ball.
+	bx := clampInt(int(b.ballX*float64(s-1)), 0, s-1)
+	by := clampInt(int(b.ballY*float64(s-1)), 0, s-1)
+	f[by*s+bx] = 1
+	// Paddle.
+	py := clampInt(int(bkPaddleY*float64(s-1)), 0, s-1)
+	half := clampInt(int(bkPaddleHW*float64(s)), 1, s)
+	px := clampInt(int(b.paddleX*float64(s-1)), 0, s-1)
+	for d := -half; d <= half; d++ {
+		if x := px + d; x >= 0 && x < s {
+			f[py*s+x] = 1
+		}
+	}
+	return f
+}
+
+func (b *Breakout) observation() *tensor.Tensor {
+	s := b.size
+	obs := tensor.New(4, s, s)
+	for i, f := range b.frames {
+		copy(obs.Data()[i*s*s:(i+1)*s*s], f)
+	}
+	return obs
+}

@@ -1,0 +1,124 @@
+package atari
+
+import (
+	"testing"
+
+	"tbd/internal/tensor"
+)
+
+func TestBreakoutObservationShape(t *testing.T) {
+	b := NewBreakout(tensor.NewRNG(1), 84)
+	obs := b.Reset()
+	sh := obs.Shape()
+	if sh[0] != 4 || sh[1] != 84 || sh[2] != 84 {
+		t.Fatalf("observation shape %v", sh)
+	}
+	if b.Lives() != 3 || b.Score() != 0 || b.Done() {
+		t.Fatal("fresh episode state wrong")
+	}
+}
+
+func TestBreakoutPassiveAgentLosesLives(t *testing.T) {
+	b := NewBreakout(tensor.NewRNG(2), 16)
+	for i := 0; i < 100000 && !b.Done(); i++ {
+		b.Step(Stay)
+	}
+	if !b.Done() {
+		t.Fatal("episode never ended")
+	}
+	if b.Lives() > 0 && b.Score() != brickRows*brickCols {
+		t.Fatal("episode ended without losing lives or clearing bricks")
+	}
+}
+
+func TestBreakoutTrackingAgentScores(t *testing.T) {
+	// Tracking the ball breaks far more bricks than standing still.
+	run := func(track bool, seed uint64) int {
+		b := NewBreakout(tensor.NewRNG(seed), 16)
+		for i := 0; i < 200000 && !b.Done(); i++ {
+			a := Stay
+			if track {
+				st := b.State()
+				switch {
+				case st[4] < st[0]-0.02:
+					a = Down // move right
+				case st[4] > st[0]+0.02:
+					a = Up // move left
+				}
+			}
+			b.Step(a)
+		}
+		return b.Score()
+	}
+	passive := run(false, 3)
+	tracking := run(true, 3)
+	if tracking <= passive {
+		t.Fatalf("tracking score %d not better than passive %d", tracking, passive)
+	}
+	if tracking < brickRows*brickCols/2 {
+		t.Fatalf("tracking agent only broke %d bricks", tracking)
+	}
+}
+
+func TestBreakoutRewardMatchesScoreMinusLives(t *testing.T) {
+	b := NewBreakout(tensor.NewRNG(4), 16)
+	var total float64
+	for i := 0; i < 50000 && !b.Done(); i++ {
+		st := b.State()
+		a := Stay
+		if st[4] < st[0]-0.02 {
+			a = Down
+		} else if st[4] > st[0]+0.02 {
+			a = Up
+		}
+		_, r, _ := b.Step(a)
+		total += r
+	}
+	livesLost := startLives - b.Lives()
+	if int(total) != b.Score()-livesLost {
+		t.Fatalf("reward sum %.0f != score %d - lives lost %d", total, b.Score(), livesLost)
+	}
+}
+
+func TestBreakoutStateVector(t *testing.T) {
+	b := NewBreakout(tensor.NewRNG(5), 16)
+	st := b.State()
+	if len(st) != 6 {
+		t.Fatalf("state length %d", len(st))
+	}
+	if st[5] != 1 {
+		t.Fatalf("fresh brick fraction %g, want 1", st[5])
+	}
+	for i := 0; i < 30000 && b.Score() == 0; i++ {
+		st := b.State()
+		a := Stay
+		if st[4] < st[0]-0.02 {
+			a = Down
+		} else if st[4] > st[0]+0.02 {
+			a = Up
+		}
+		b.Step(a)
+	}
+	if b.Score() == 0 {
+		t.Fatal("no brick broken in 30k tracked steps")
+	}
+	if b.State()[5] >= 1 {
+		t.Fatal("brick fraction did not drop")
+	}
+}
+
+func TestBreakoutRenderHasBricksAndPaddle(t *testing.T) {
+	b := NewBreakout(tensor.NewRNG(6), 32)
+	obs := b.Reset()
+	last := obs.Data()[3*32*32:]
+	lit := 0
+	for _, v := range last {
+		if v == 1 {
+			lit++
+		}
+	}
+	// Bricks (4 rows of pixels) + paddle + ball.
+	if lit < 32 {
+		t.Fatalf("render too sparse: %d pixels lit", lit)
+	}
+}

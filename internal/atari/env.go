@@ -1,0 +1,63 @@
+package atari
+
+// Env is the common surface of the game environments, letting the A3C
+// trainer run on any of them (the paper: A3C plays "various classical
+// computer games").
+type Env interface {
+	// StateVec returns the compact 6-feature state for function
+	// approximation.
+	StateVec() []float32
+	// Act advances one frame and returns the step reward and whether
+	// the episode ended.
+	Act(a Action) (reward float64, done bool)
+	// Restart begins a new episode.
+	Restart()
+	// Outcome summarizes the current episode as a scalar score (Pong:
+	// agent minus bot; Breakout: bricks broken).
+	Outcome() int
+	// Over reports whether the episode has ended.
+	Over() bool
+}
+
+// Pong implements Env.
+
+// StateVec implements Env.
+func (p *Pong) StateVec() []float32 { return p.State() }
+
+// Act implements Env.
+func (p *Pong) Act(a Action) (float64, bool) {
+	_, r, done := p.Step(a)
+	return r, done
+}
+
+// Restart implements Env.
+func (p *Pong) Restart() { p.Reset() }
+
+// Outcome implements Env.
+func (p *Pong) Outcome() int {
+	agent, bot := p.Score()
+	return agent - bot
+}
+
+// Over implements Env.
+func (p *Pong) Over() bool { return p.Done() }
+
+// Breakout implements Env.
+
+// StateVec implements Env.
+func (b *Breakout) StateVec() []float32 { return b.State() }
+
+// Act implements Env.
+func (b *Breakout) Act(a Action) (float64, bool) {
+	_, r, done := b.Step(a)
+	return r, done
+}
+
+// Restart implements Env.
+func (b *Breakout) Restart() { b.Reset() }
+
+// Outcome implements Env.
+func (b *Breakout) Outcome() int { return b.Score() }
+
+// Over implements Env.
+func (b *Breakout) Over() bool { return b.Done() }

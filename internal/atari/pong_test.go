@@ -1,0 +1,133 @@
+package atari
+
+import (
+	"testing"
+
+	"tbd/internal/tensor"
+)
+
+func TestObservationShape(t *testing.T) {
+	p := NewPong(tensor.NewRNG(1), 84)
+	obs := p.Reset()
+	sh := obs.Shape()
+	if sh[0] != 4 || sh[1] != 84 || sh[2] != 84 {
+		t.Fatalf("observation shape %v, want [4 84 84] (Table 3)", sh)
+	}
+	for _, v := range obs.Data() {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary pixel %g", v)
+		}
+	}
+}
+
+func TestFrameContainsBallAndPaddles(t *testing.T) {
+	p := NewPong(tensor.NewRNG(2), 32)
+	obs := p.Reset()
+	// Last frame: column 1 (bot paddle), column 30 (agent paddle), and a
+	// ball blob must all be lit.
+	last := obs.Data()[3*32*32:]
+	var botCol, agentCol, other int
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if last[y*32+x] == 1 {
+				switch x {
+				case 1:
+					botCol++
+				case 30:
+					agentCol++
+				default:
+					other++
+				}
+			}
+		}
+	}
+	if botCol == 0 || agentCol == 0 || other == 0 {
+		t.Fatalf("render missing elements: bot=%d agent=%d ball=%d", botCol, agentCol, other)
+	}
+}
+
+func TestEpisodeTerminatesAt21(t *testing.T) {
+	p := NewPong(tensor.NewRNG(3), 16)
+	var rewardSum float64
+	steps := 0
+	for !p.Done() && steps < 200000 {
+		// A do-nothing agent loses: the bot tracks the ball, the agent
+		// paddle stays put.
+		_, r, _ := p.Step(Stay)
+		rewardSum += r
+		steps++
+	}
+	agent, bot := p.Score()
+	if !p.Done() {
+		t.Fatalf("episode did not terminate after %d steps (score %d-%d)", steps, agent, bot)
+	}
+	if bot != 21 {
+		t.Fatalf("passive agent should lose 21, got %d-%d", agent, bot)
+	}
+	if rewardSum != float64(agent-bot) {
+		t.Fatalf("reward sum %.0f != score diff %d", rewardSum, agent-bot)
+	}
+}
+
+func TestTrackingAgentBeatsPassivePolicy(t *testing.T) {
+	// An agent that tracks the ball (the strategy A3C must discover)
+	// scores far better than doing nothing.
+	run := func(track bool) int {
+		p := NewPong(tensor.NewRNG(4), 16)
+		for steps := 0; !p.Done() && steps < 400000; steps++ {
+			a := Stay
+			if track {
+				st := p.State()
+				switch {
+				case float64(st[4]) < float64(st[1])-0.02:
+					a = Down
+				case float64(st[4]) > float64(st[1])+0.02:
+					a = Up
+				}
+			}
+			p.Step(a)
+		}
+		agent, bot := p.Score()
+		return agent - bot
+	}
+	passive := run(false)
+	tracking := run(true)
+	if tracking <= passive {
+		t.Fatalf("tracking policy diff %d not better than passive %d", tracking, passive)
+	}
+	if tracking < 10 {
+		t.Fatalf("tracking policy should dominate (diff %d)", tracking)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() (int, int) {
+		p := NewPong(tensor.NewRNG(7), 16)
+		for i := 0; i < 5000 && !p.Done(); i++ {
+			p.Step(Action(i % 3))
+		}
+		return p.Score()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("environment not deterministic under a fixed seed")
+	}
+}
+
+func TestStateVectorBounds(t *testing.T) {
+	p := NewPong(tensor.NewRNG(8), 16)
+	for i := 0; i < 2000 && !p.Done(); i++ {
+		p.Step(Action(i % 3))
+		st := p.State()
+		if len(st) != 6 {
+			t.Fatalf("state length %d", len(st))
+		}
+		if st[0] < -0.1 || st[0] > 1.1 || st[1] < -0.1 || st[1] > 1.1 {
+			t.Fatalf("ball position out of bounds: %v", st)
+		}
+		if st[4] < 0 || st[4] > 1 || st[5] < 0 || st[5] > 1 {
+			t.Fatalf("paddle position out of bounds: %v", st)
+		}
+	}
+}

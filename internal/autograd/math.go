@@ -1,0 +1,6 @@
+package autograd
+
+import "math"
+
+// expFloat isolates the float64 exponential used by the activations.
+func expFloat(v float64) float64 { return math.Exp(v) }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"tbd/internal/device"
+	"tbd/internal/framework"
+	"tbd/internal/kernels"
+	"tbd/internal/memprof"
+	"tbd/internal/metrics"
+	"tbd/internal/models"
+	"tbd/internal/sim"
+	"tbd/internal/trace"
+)
+
+// AnalyzeEndToEnd runs the complete Figure 3 analysis pipeline for one
+// training configuration: comparability setup, a warm-up phase excluded
+// from collection via the §3.4.2 sampling methodology, metric collection
+// from the "tools" (the simulator standing in for nvprof/vTune, the
+// memory profiler), and a merged report — the paper's end-to-end
+// toolchain as one call.
+
+// Analysis is the merged per-configuration report.
+type Analysis struct {
+	Model, Implementation, Framework, GPU string
+	Batch                                 int
+
+	// Sampling methodology (§3.4.2).
+	WarmupIterations  int
+	SampledIterations int
+	// Iteration-time distribution over the stable window.
+	P50IterSec, P95IterSec, IterCV float64
+
+	// Throughput over the stable window (samples or sweep units /s).
+	Throughput float64
+	// Utilization metrics (Eq. 1-3).
+	GPUUtil, FP32Util, CPUUtil float64
+
+	// Phase breakdown.
+	Phases sim.PhaseProfile
+
+	// Kernel-level view.
+	KernelsPerIteration int
+	TopKernels          []trace.KernelSummary
+	LowUtilKernels      []sim.KernelStat
+	GapTimeSec          float64
+
+	// Memory breakdown (Figure 9 categories).
+	Memory memprof.Breakdown
+	// FitsP4000 reports whether the footprint fits the paper's 8 GB card.
+	FitsP4000 bool
+}
+
+// AnalyzeEndToEnd profiles (model, framework, gpu, batch) through the
+// full pipeline.
+func AnalyzeEndToEnd(modelName, fwName, gpuName string, batch int) (*Analysis, error) {
+	m, err := models.LookupAny(modelName)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := framework.Lookup(fwName)
+	if err != nil {
+		return nil, err
+	}
+	if !m.SupportsFramework(fw.Name) {
+		return nil, fmt.Errorf("core: %s has no %s implementation", m.Name, fw.Name)
+	}
+	gpu := device.QuadroP4000
+	if gpuName != "" {
+		if gpu, err = device.Lookup(gpuName); err != nil {
+			return nil, err
+		}
+	}
+	n := m.SamplesForBatch(batch)
+	cfg := models.SimConfigFor(m, fw, gpu)
+
+	// Steady-state iteration profile.
+	r := sim.Simulate(m.Ops(), n, fw.Style, cfg)
+
+	// Sampling methodology: model a fresh run's warm-up and find the
+	// stable window the way the real toolchain does.
+	meter := metrics.NewMeter(batch)
+	for _, d := range sim.WarmupTrace(r.IterTimeSec, 400) {
+		meter.Record(d)
+	}
+	summary := meter.Summarize(0.10, 200)
+	window := summary.Window
+
+	// Kernel timeline for gap and top-kernel analysis.
+	stream := kernels.IterationKernels(m.Ops(), n, fw.Style)
+	_, events := sim.ReplayWithTrace(stream, n, cfg)
+	tl := trace.New(events)
+
+	a := &Analysis{
+		Model:               m.Name,
+		Implementation:      m.ImplName(fw.Name),
+		Framework:           fw.Name,
+		GPU:                 gpu.Name,
+		Batch:               batch,
+		WarmupIterations:    window.Start,
+		SampledIterations:   window.Count,
+		P50IterSec:          summary.P50Sec,
+		P95IterSec:          summary.P95Sec,
+		IterCV:              summary.CV,
+		Throughput:          window.Throughput,
+		GPUUtil:             r.GPUUtil,
+		FP32Util:            r.FP32Util,
+		CPUUtil:             r.CPUUtil,
+		Phases:              sim.Phases(m.Ops(), n, fw.Style, cfg),
+		KernelsPerIteration: r.KernelCount,
+		TopKernels:          tl.TopKernels(5),
+		LowUtilKernels:      sim.LongLowUtilKernels(r, 5),
+		GapTimeSec:          tl.TotalGapTime(),
+		Memory:              memprof.ProfileOps(m.Ops(), n, fw.MemPolicy),
+	}
+	a.FitsP4000 = a.Memory.Total() <= device.QuadroP4000.MemoryBytes
+	return a, nil
+}
+
+// Comparability verifies §3.4.1: that a model's implementations are
+// comparable across frameworks — identical network (same ops, shapes, and
+// parameter count) and identical algorithmic FLOPs, differing only in
+// execution profile.
+type Comparability struct {
+	Model string
+	// ParamElems is the shared trainable-parameter count.
+	ParamElems int64
+	// FLOPsPerSample is the shared per-sample training FLOPs.
+	FLOPsPerSample float64
+	// Comparable is false if any framework pair diverges.
+	Comparable bool
+	Detail     string
+}
+
+// CheckComparability validates one benchmark across its frameworks.
+func CheckComparability(modelName string) (Comparability, error) {
+	m, err := models.LookupAny(modelName)
+	if err != nil {
+		return Comparability{}, err
+	}
+	c := Comparability{Model: m.Name, Comparable: true}
+	for _, op := range m.Ops() {
+		c.ParamElems += op.ParamElems()
+	}
+	var baseline float64
+	for i, fwName := range m.Frameworks {
+		fw, err := framework.Lookup(fwName)
+		if err != nil {
+			return Comparability{}, err
+		}
+		fl := kernels.TotalFLOPs(kernels.IterationKernels(m.Ops(), 1, fw.Style))
+		if i == 0 {
+			baseline = fl
+			c.FLOPsPerSample = fl
+			continue
+		}
+		if fl != baseline {
+			c.Comparable = false
+			c.Detail = fmt.Sprintf("%s emits %.0f FLOPs vs %s's %.0f — implementations diverge",
+				fwName, fl, m.Frameworks[0], baseline)
+			return c, nil
+		}
+	}
+	c.Detail = fmt.Sprintf("%d framework implementation(s) share the same network: %.2f GFLOPs/sample, %.1fM parameters",
+		len(m.Frameworks), c.FLOPsPerSample/1e9, float64(c.ParamElems)/1e6)
+	return c, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"tbd/internal/data"
+	"tbd/internal/device"
+	"tbd/internal/framework"
+	"tbd/internal/models"
+	"tbd/internal/report"
+	"tbd/internal/sim"
+)
+
+// Table 1: the paper's survey of systems/architecture venue papers
+// (SOSP, OSDI, NSDI, MICRO, ISCA, HPCA, ASPLOS) since 2014, grouped by
+// training-vs-inference and algorithmic breadth, transcribed by citation
+// number.
+var table1Survey = map[string]map[string][]int{
+	"Training": {
+		"Image classification only": {29, 35, 37, 56, 61, 62, 83, 90, 95},
+		"Broader (non-CNN)":         {10, 22, 58, 66, 75, 77, 99},
+	},
+	"Inference": {
+		"Image classification only": {12, 13, 14, 25, 28, 37, 39, 42, 61, 67, 68, 74, 81, 86, 87, 88, 90, 103, 104},
+		"Broader (non-CNN)":         {10, 38, 46, 51, 60, 75},
+	},
+}
+
+func runTable1(o Options) (*Result, error) {
+	tbl := &report.Table{
+		Title:   "Systems/architecture conference papers on DNNs since 2014",
+		Columns: []string{"Focus", "Image classification only", "Broader (non-CNN)"},
+	}
+	count := func(focus, breadth string) int { return len(table1Survey[focus][breadth]) }
+	for _, focus := range []string{"Training", "Inference"} {
+		tbl.AddRow(focus, count(focus, "Image classification only"), count(focus, "Broader (non-CNN)"))
+	}
+	summary := &report.Table{
+		Title:   "Survey summary",
+		Columns: []string{"Claim", "Count"},
+	}
+	// The paper: 25 inference vs 16 training (4 in both); 26 image-only
+	// vs 11 broader.
+	training := union(table1Survey["Training"])
+	inference := union(table1Survey["Inference"])
+	imageOnly := unionSets(table1Survey["Training"]["Image classification only"], table1Survey["Inference"]["Image classification only"])
+	broader := unionSets(table1Survey["Training"]["Broader (non-CNN)"], table1Survey["Inference"]["Broader (non-CNN)"])
+	both := 0
+	for c := range training {
+		if inference[c] {
+			both++
+		}
+	}
+	summary.AddRow("papers optimizing training", len(training))
+	summary.AddRow("papers optimizing inference", len(inference))
+	summary.AddRow("papers doing both", both)
+	summary.AddRow("papers evaluating only image classification", len(imageOnly))
+	summary.AddRow("papers with broader workloads", len(broader))
+	return &Result{ID: "table1", Title: "Table 1", Tables: []*report.Table{tbl, summary}}, nil
+}
+
+func union(m map[string][]int) map[int]bool {
+	out := map[int]bool{}
+	for _, list := range m {
+		for _, c := range list {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+func unionSets(lists ...[]int) map[int]bool {
+	out := map[int]bool{}
+	for _, list := range lists {
+		for _, c := range list {
+			out[c] = true
+		}
+	}
+	return out
+}
+
+func runTable2(o Options) (*Result, error) {
+	tbl := &report.Table{
+		Title:   "TBD benchmark overview",
+		Columns: []string{"Application", "Model", "Layers", "Dominant layer", "Frameworks", "Dataset"},
+	}
+	for _, m := range models.Suite() {
+		fws := ""
+		for i, f := range m.Frameworks {
+			if i > 0 {
+				fws += ", "
+			}
+			fws += f
+		}
+		tbl.AddRow(m.Application, m.Name, m.NumLayers, m.DominantLayer, fws, m.Dataset.Name)
+	}
+	return &Result{ID: "table2", Title: "Table 2", Tables: []*report.Table{tbl}}, nil
+}
+
+func runTable3(o Options) (*Result, error) {
+	tbl := &report.Table{
+		Title:   "Training datasets",
+		Columns: []string{"Dataset", "Samples", "Size", "Special"},
+	}
+	for _, d := range data.All() {
+		size := ""
+		if len(d.SampleShape) > 0 {
+			size = fmt.Sprintf("%dx%dx%d per sample", d.SampleShape[0], d.SampleShape[1], d.SampleShape[2])
+		} else {
+			size = fmt.Sprintf("%d-%d tokens per sentence", d.MeanSeqLen-5, d.MaxSeqLen)
+		}
+		samples := "generated"
+		if d.NumSamples > 0 {
+			samples = fmt.Sprintf("%d", d.NumSamples)
+		}
+		tbl.AddRow(d.Name, samples, size, d.Special)
+	}
+	return &Result{ID: "table3", Title: "Table 3", Tables: []*report.Table{tbl}}, nil
+}
+
+func runTable4(o Options) (*Result, error) {
+	tbl := &report.Table{
+		Title:   "Hardware specifications",
+		Columns: []string{"Spec", "TITAN Xp", "Quadro P4000", "Intel Xeon E5-2680"},
+	}
+	x, p, c := device.TitanXp, device.QuadroP4000, device.XeonE52680
+	tbl.AddRow("Multiprocessors", x.Multiprocessors, p.Multiprocessors, "")
+	tbl.AddRow("Core count", x.CoreCount, p.CoreCount, c.Cores)
+	tbl.AddRow("Max clock rate (MHz)", x.MaxClockMHz, p.MaxClockMHz, c.MaxClockMHz)
+	tbl.AddRow("Memory size (GB)", x.MemoryBytes>>30, p.MemoryBytes>>30, c.MemoryBytes>>30)
+	tbl.AddRow("LLC size (MB)", x.LLCBytes>>20, p.LLCBytes>>20, c.LLCBytes>>20)
+	tbl.AddRow("Memory bus type", x.MemBusType, p.MemBusType, "DDR4")
+	tbl.AddRow("Memory BW (GB/s)", x.MemBandwidthGBs, p.MemBandwidthGBs, c.MemBandwidthGBs)
+	tbl.AddRow("Bus interface", x.BusInterface, p.BusInterface, "")
+	tbl.AddRow("Peak FP32 (TFLOPS)", x.PeakFLOPS()/1e12, p.PeakFLOPS()/1e12, "")
+	return &Result{ID: "table4", Title: "Table 4", Tables: []*report.Table{tbl}}, nil
+}
+
+// lowUtilKernelTable builds Table 5/6 for ResNet-50 at batch 32 on the
+// given framework.
+func lowUtilKernelTable(id string, o Options, fwName string) (*Result, error) {
+	o = o.withDefaults()
+	m, err := models.Lookup("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	fw, err := framework.Lookup(fwName)
+	if err != nil {
+		return nil, err
+	}
+	r := simulate(m, fw, o.GPU, 32)
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Longest 5 kernels with FP32 utilization below the average (ResNet-50, batch 32, %s; average %.1f%%)", fwName, 100*r.FP32Util),
+		Columns: []string{"Duration", "Utilization", "Kernel name"},
+	}
+	for _, st := range sim.LongLowUtilKernels(r, 5) {
+		tbl.AddRow(
+			fmt.Sprintf("%.2f%%", 100*st.DurationShare),
+			fmt.Sprintf("%.1f%%", 100*st.Util),
+			st.Name,
+		)
+	}
+	return &Result{ID: id, Title: "Table " + id[len(id)-1:], Tables: []*report.Table{tbl}}, nil
+}
+
+func runTable5(o Options) (*Result, error) { return lowUtilKernelTable("table5", o, "TensorFlow") }
+func runTable6(o Options) (*Result, error) { return lowUtilKernelTable("table6", o, "MXNet") }

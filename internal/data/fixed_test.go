@@ -1,0 +1,101 @@
+package data
+
+import (
+	"testing"
+
+	"tbd/internal/tensor"
+)
+
+func newFixed(t *testing.T, n int) *FixedImageSet {
+	t.Helper()
+	rng := tensor.NewRNG(1)
+	return NewFixedImageSet(NewImageSource(rng, 1, 4, 4, 3, 0.3), n)
+}
+
+func TestFixedSetSplit(t *testing.T) {
+	s := newFixed(t, 100)
+	rng := tensor.NewRNG(2)
+	train, val := s.Split(0.8, rng)
+	if train.Len() != 80 || val.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), val.Len())
+	}
+	// Subsets are disjoint and cover the set: total label histogram is
+	// preserved.
+	hist := func(set *FixedImageSet) map[int]int {
+		h := map[int]int{}
+		for _, l := range set.Labels {
+			h[l]++
+		}
+		return h
+	}
+	full := hist(s)
+	ht, hv := hist(train), hist(val)
+	for c, n := range full {
+		if ht[c]+hv[c] != n {
+			t.Fatalf("class %d: %d+%d != %d", c, ht[c], hv[c], n)
+		}
+	}
+}
+
+func TestSplitValidates(t *testing.T) {
+	s := newFixed(t, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad trainFrac must panic")
+		}
+	}()
+	s.Split(1.5, tensor.NewRNG(1))
+}
+
+func TestEpochsVisitEverySampleOnce(t *testing.T) {
+	s := newFixed(t, 24)
+	rng := tensor.NewRNG(3)
+	counts := map[string]int{}
+	batches := 0
+	s.Epochs(2, 8, rng, func(epoch int, x *tensor.Tensor, labels []int) {
+		batches++
+		for i := 0; i < 8; i++ {
+			// Fingerprint each sample by its pixel values.
+			key := ""
+			for j := 0; j < 16; j++ {
+				key += string(rune(int(x.Data()[i*16+j]*100) % 93))
+			}
+			counts[key]++
+		}
+	})
+	if batches != 2*3 {
+		t.Fatalf("got %d batches, want 6", batches)
+	}
+	// With 24 samples over 2 epochs, each distinct sample appears twice.
+	for k, c := range counts {
+		if c != 2 {
+			t.Fatalf("sample %q appeared %d times, want 2", k, c)
+		}
+	}
+}
+
+func TestEpochsReshuffle(t *testing.T) {
+	s := newFixed(t, 16)
+	rng := tensor.NewRNG(4)
+	var firstBatchPerEpoch []string
+	s.Epochs(2, 16, rng, func(epoch int, x *tensor.Tensor, labels []int) {
+		key := ""
+		for _, l := range labels {
+			key += string(rune('0' + l))
+		}
+		firstBatchPerEpoch = append(firstBatchPerEpoch, key)
+	})
+	if len(firstBatchPerEpoch) != 2 {
+		t.Fatalf("epochs produced %d full batches", len(firstBatchPerEpoch))
+	}
+	if firstBatchPerEpoch[0] == firstBatchPerEpoch[1] {
+		t.Fatal("epochs were not reshuffled")
+	}
+}
+
+func TestStepsPerEpochDropsTail(t *testing.T) {
+	s := newFixed(t, 25)
+	if s.StepsPerEpoch(8) != 3 {
+		t.Fatalf("steps/epoch = %d, want 3 (tail dropped)", s.StepsPerEpoch(8))
+	}
+}

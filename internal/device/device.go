@@ -1,0 +1,159 @@
+// Package device models the hardware the paper evaluates on: the NVIDIA
+// Quadro P4000 and Titan Xp GPUs and the Intel Xeon E5-2680 host CPU
+// (Table 4), plus the derived quantities (peak FP32 throughput, memory
+// bandwidth, kernel launch latency) the kernel cost model needs.
+package device
+
+import "fmt"
+
+// GPU describes one GPU model. Field values for the built-in devices are
+// taken directly from the paper's Table 4.
+type GPU struct {
+	Name            string
+	Multiprocessors int
+	CoreCount       int
+	MaxClockMHz     int
+	MemoryBytes     int64
+	LLCBytes        int64
+	MemBusType      string
+	MemBandwidthGBs float64
+	BusInterface    string
+	MemClockMHz     int
+
+	// LaunchLatencySec is the fixed device-side cost of starting a kernel;
+	// a few microseconds on real hardware.
+	LaunchLatencySec float64
+}
+
+// PeakFLOPS returns the theoretical single-precision peak: 2 FLOPs per
+// core per cycle (FMA) at max clock.
+func (g *GPU) PeakFLOPS() float64 {
+	return 2 * float64(g.CoreCount) * float64(g.MaxClockMHz) * 1e6
+}
+
+// MemBandwidth returns memory bandwidth in bytes/second.
+func (g *GPU) MemBandwidth() float64 { return g.MemBandwidthGBs * 1e9 }
+
+// String implements fmt.Stringer.
+func (g *GPU) String() string {
+	return fmt.Sprintf("%s (%d SMs, %d cores @ %d MHz, %.0f GB, %.1f GB/s)",
+		g.Name, g.Multiprocessors, g.CoreCount, g.MaxClockMHz,
+		float64(g.MemoryBytes)/1e9, g.MemBandwidthGBs)
+}
+
+// CPU describes the host processor.
+type CPU struct {
+	Name            string
+	Cores           int
+	MaxClockMHz     int
+	MemoryBytes     int64
+	LLCBytes        int64
+	MemBandwidthGBs float64
+}
+
+// Built-in hardware matching the paper's testbed (Table 4).
+var (
+	// QuadroP4000 is the paper's primary GPU.
+	QuadroP4000 = &GPU{
+		Name:             "Quadro P4000",
+		Multiprocessors:  14,
+		CoreCount:        1792,
+		MaxClockMHz:      1480,
+		MemoryBytes:      8 << 30,
+		LLCBytes:         2 << 20,
+		MemBusType:       "GDDR5",
+		MemBandwidthGBs:  243,
+		BusInterface:     "PCIe 3.0",
+		MemClockMHz:      3802,
+		LaunchLatencySec: 4e-6,
+	}
+
+	// TitanXp is the paper's "more powerful GPU" for the hardware
+	// sensitivity study (§4.3).
+	TitanXp = &GPU{
+		Name:             "TITAN Xp",
+		Multiprocessors:  30,
+		CoreCount:        3840,
+		MaxClockMHz:      1582,
+		MemoryBytes:      12 << 30,
+		LLCBytes:         3 << 20,
+		MemBusType:       "GDDR5X",
+		MemBandwidthGBs:  547.6,
+		BusInterface:     "PCIe 3.0",
+		MemClockMHz:      5705,
+		LaunchLatencySec: 4e-6,
+	}
+
+	// TeslaV100 is a beyond-the-paper extension device (Volta, 2017):
+	// the datacenter card that succeeded the paper's testbed. Useful for
+	// extrapolating Observation 10 — even more compute, even harder to
+	// fill.
+	TeslaV100 = &GPU{
+		Name:             "Tesla V100",
+		Multiprocessors:  80,
+		CoreCount:        5120,
+		MaxClockMHz:      1530,
+		MemoryBytes:      16 << 30,
+		LLCBytes:         6 << 20,
+		MemBusType:       "HBM2",
+		MemBandwidthGBs:  900,
+		BusInterface:     "PCIe 3.0 / NVLink",
+		MemClockMHz:      877,
+		LaunchLatencySec: 4e-6,
+	}
+
+	// XeonE52680 is the host CPU on every cluster node.
+	XeonE52680 = &CPU{
+		Name:            "Intel Xeon E5-2680",
+		Cores:           28,
+		MaxClockMHz:     2900,
+		MemoryBytes:     128 << 30,
+		LLCBytes:        35 << 20,
+		MemBandwidthGBs: 76.8,
+	}
+)
+
+// GPUs lists the built-in GPU models keyed by name.
+func GPUs() map[string]*GPU {
+	return map[string]*GPU{
+		QuadroP4000.Name: QuadroP4000,
+		TitanXp.Name:     TitanXp,
+		TeslaV100.Name:   TeslaV100,
+	}
+}
+
+// Lookup returns the GPU with the given name.
+func Lookup(name string) (*GPU, error) {
+	if g, ok := GPUs()[name]; ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("device: unknown GPU %q", name)
+}
+
+// Interconnect models a communication link between workers (§4.5).
+type Interconnect struct {
+	Name string
+	// BandwidthGBs is usable unidirectional bandwidth in GB/s.
+	BandwidthGBs float64
+	// LatencySec is the per-message latency.
+	LatencySec float64
+}
+
+// Built-in interconnects for the distributed experiments (Figure 10).
+var (
+	// PCIe3 connects GPUs within one machine (16 GB/s, §4.5).
+	PCIe3 = &Interconnect{Name: "PCIe 3.0", BandwidthGBs: 16, LatencySec: 5e-6}
+	// Ethernet is the slow cross-machine network that degrades 2M1G
+	// training in Figure 10 (1 GbE ≈ 0.125 GB/s).
+	Ethernet = &Interconnect{Name: "Ethernet", BandwidthGBs: 0.125, LatencySec: 50e-6}
+	// InfiniBand is the 100 Gb/s Mellanox fabric (≈ 12.5 GB/s).
+	InfiniBand = &Interconnect{Name: "InfiniBand", BandwidthGBs: 12.5, LatencySec: 2e-6}
+)
+
+// Bandwidth returns link bandwidth in bytes/second.
+func (ic *Interconnect) Bandwidth() float64 { return ic.BandwidthGBs * 1e9 }
+
+// TransferTime returns the time to move n bytes across the link.
+func (ic *Interconnect) TransferTime(n int64) float64 {
+	return ic.LatencySec + float64(n)/ic.Bandwidth()
+}

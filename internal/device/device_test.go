@@ -1,0 +1,93 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable4Specs(t *testing.T) {
+	// Spot-check the values transcribed from the paper's Table 4.
+	if QuadroP4000.CoreCount != 1792 || QuadroP4000.Multiprocessors != 14 {
+		t.Fatalf("P4000 core config wrong: %+v", QuadroP4000)
+	}
+	if TitanXp.CoreCount != 3840 || TitanXp.Multiprocessors != 30 {
+		t.Fatalf("Titan Xp core config wrong: %+v", TitanXp)
+	}
+	if QuadroP4000.MemoryBytes != 8<<30 || TitanXp.MemoryBytes != 12<<30 {
+		t.Fatal("GPU memory sizes wrong")
+	}
+	if QuadroP4000.MemBandwidthGBs != 243 || TitanXp.MemBandwidthGBs != 547.6 {
+		t.Fatal("memory bandwidths wrong")
+	}
+	if XeonE52680.Cores != 28 {
+		t.Fatal("Xeon core count wrong")
+	}
+}
+
+func TestPeakFLOPS(t *testing.T) {
+	// P4000: 2 * 1792 * 1.48 GHz ≈ 5.3 TFLOPS.
+	got := QuadroP4000.PeakFLOPS()
+	if math.Abs(got-5.304e12) > 1e10 {
+		t.Fatalf("P4000 peak = %.3e", got)
+	}
+	// Titan Xp ≈ 12.15 TFLOPS, about 2.3x the P4000.
+	ratio := TitanXp.PeakFLOPS() / got
+	if ratio < 2.2 || ratio < 1 || ratio > 2.4 {
+		t.Fatalf("Titan Xp / P4000 peak ratio = %.2f", ratio)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g, err := Lookup("TITAN Xp")
+	if err != nil || g != TitanXp {
+		t.Fatalf("Lookup failed: %v", err)
+	}
+	if _, err := Lookup("H100"); err == nil {
+		t.Fatal("Lookup of unknown GPU must fail")
+	}
+}
+
+func TestInterconnectOrdering(t *testing.T) {
+	// For a ResNet-50-sized gradient exchange (~100 MB), PCIe must beat
+	// InfiniBand which must beat Ethernet — the ordering behind Figure 10.
+	const bytes = 100 << 20
+	pcie := PCIe3.TransferTime(bytes)
+	ib := InfiniBand.TransferTime(bytes)
+	eth := Ethernet.TransferTime(bytes)
+	if !(pcie < ib && ib < eth) {
+		t.Fatalf("transfer times not ordered: pcie %.4f, ib %.4f, eth %.4f", pcie, ib, eth)
+	}
+	// Ethernet should be an order of magnitude slower than InfiniBand.
+	if eth/ib < 10 {
+		t.Fatalf("ethernet/ib ratio = %.1f, want >= 10", eth/ib)
+	}
+}
+
+func TestTransferTimeIncludesLatency(t *testing.T) {
+	if got := Ethernet.TransferTime(0); got != Ethernet.LatencySec {
+		t.Fatalf("zero-byte transfer = %g, want pure latency", got)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if QuadroP4000.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestV100Extension(t *testing.T) {
+	// The extension device sits above the paper's cards on every axis.
+	if TeslaV100.PeakFLOPS() <= TitanXp.PeakFLOPS() {
+		t.Fatal("V100 peak should exceed Titan Xp")
+	}
+	if TeslaV100.MemBandwidthGBs <= TitanXp.MemBandwidthGBs {
+		t.Fatal("V100 HBM2 bandwidth should exceed GDDR5X")
+	}
+	g, err := Lookup("Tesla V100")
+	if err != nil || g != TeslaV100 {
+		t.Fatal("V100 not in the registry")
+	}
+	if len(GPUs()) != 3 {
+		t.Fatalf("registry has %d GPUs, want 3", len(GPUs()))
+	}
+}

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"tbd/internal/graph"
+	"tbd/internal/optim"
+	"tbd/internal/tensor"
+)
+
+// DataParallel trains N replica networks with synchronous gradient
+// averaging — a real, in-process implementation of the data-parallel
+// scheme of §2.2, with goroutine workers standing in for GPUs. It proves
+// the aggregation math the cluster simulator models: one step over a
+// split batch is numerically equivalent to a single-replica step over the
+// whole batch.
+type DataParallel struct {
+	Replicas []*graph.Network
+	opt      optim.Optimizer
+}
+
+// NewDataParallel wraps replicas (all structurally identical) and an
+// optimizer applied to replica 0's parameters (the "parameter server").
+// Replica weights are synchronized to replica 0 on construction.
+func NewDataParallel(opt optim.Optimizer, replicas ...*graph.Network) *DataParallel {
+	if len(replicas) == 0 {
+		panic("dist: no replicas")
+	}
+	dp := &DataParallel{Replicas: replicas, opt: opt}
+	dp.broadcast()
+	return dp
+}
+
+// broadcast copies replica 0's weights to all replicas.
+func (dp *DataParallel) broadcast() {
+	master := dp.Replicas[0].Params()
+	for _, r := range dp.Replicas[1:] {
+		ps := r.Params()
+		if len(ps) != len(master) {
+			panic("dist: replica parameter mismatch")
+		}
+		for i, p := range ps {
+			p.Value.CopyFrom(master[i].Value)
+		}
+	}
+}
+
+// Step runs one synchronous data-parallel training step: each replica
+// computes gradients on its shard concurrently, gradients are averaged
+// into replica 0, the optimizer updates the master weights, and the
+// update is broadcast. It returns the mean loss across shards.
+func (dp *DataParallel) Step(shardX []*tensor.Tensor, shardLabels [][]int) float32 {
+	n := len(dp.Replicas)
+	if len(shardX) != n || len(shardLabels) != n {
+		panic(fmt.Sprintf("dist: %d shards for %d replicas", len(shardX), n))
+	}
+	losses := make([]float32, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			net := dp.Replicas[i]
+			optim.ZeroGrads(net.Params())
+			logits := net.Forward(shardX[i], true)
+			loss, grad := tensor.CrossEntropy(logits, shardLabels[i])
+			net.Backward(grad)
+			losses[i] = loss
+		}(i)
+	}
+	wg.Wait()
+
+	// All-reduce: average gradients into replica 0.
+	master := dp.Replicas[0].Params()
+	inv := 1 / float32(n)
+	for pi, mp := range master {
+		g := mp.Grad.Data()
+		for _, r := range dp.Replicas[1:] {
+			rg := r.Params()[pi].Grad.Data()
+			for j := range g {
+				g[j] += rg[j]
+			}
+		}
+		for j := range g {
+			g[j] *= inv
+		}
+	}
+	dp.opt.Step(master)
+	dp.broadcast()
+
+	var mean float32
+	for _, l := range losses {
+		mean += l
+	}
+	return mean / float32(n)
+}
+
+// SplitBatch shards a batch across n workers (equal shards; the batch
+// size must be divisible by n, mirroring how frameworks require divisible
+// global batches).
+func SplitBatch(x *tensor.Tensor, labels []int, n int) ([]*tensor.Tensor, [][]int) {
+	total := x.Dim(0)
+	if total%n != 0 {
+		panic(fmt.Sprintf("dist: batch %d not divisible by %d workers", total, n))
+	}
+	per := total / n
+	inner := x.Numel() / total
+	xs := make([]*tensor.Tensor, n)
+	ys := make([][]int, n)
+	for i := 0; i < n; i++ {
+		shard := make([]float32, per*inner)
+		copy(shard, x.Data()[i*per*inner:(i+1)*per*inner])
+		shape := append([]int{per}, x.Shape()[1:]...)
+		xs[i] = tensor.FromSlice(shard, shape...)
+		ys[i] = labels[i*per : (i+1)*per]
+	}
+	return xs, ys
+}
+
+// CloneNetwork builds a structurally identical replica using a fresh
+// constructor and copies weights from src. The constructor must produce
+// the same architecture (same parameter shapes in the same order).
+func CloneNetwork(src *graph.Network, construct func() *graph.Network) *graph.Network {
+	dst := construct()
+	sp, dp := src.Params(), dst.Params()
+	if len(sp) != len(dp) {
+		panic("dist: constructor produced a different architecture")
+	}
+	for i := range sp {
+		dp[i].Value.CopyFrom(sp[i].Value)
+	}
+	return dst
+}

@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"tbd/internal/device"
+	"tbd/internal/graph"
+	"tbd/internal/kernels"
+	"tbd/internal/layers"
+	"tbd/internal/models"
+	"tbd/internal/optim"
+	"tbd/internal/sim"
+	"tbd/internal/tensor"
+)
+
+func resnetCfg() (ops []*kernels.Op, style kernels.NameStyle, cfg sim.Config) {
+	m, _ := models.Lookup("ResNet-50")
+	return m.Ops(), kernels.StyleMXNet, sim.Config{
+		GPU:               device.QuadroP4000,
+		LaunchOverheadSec: 6e-6,
+		SyncOverheadSec:   180e-6,
+		IterOverheadSec:   3e-3,
+	}
+}
+
+func TestFigure10Ordering(t *testing.T) {
+	// Figure 10's story: Ethernet cripples 2-machine training; the same
+	// two machines on InfiniBand scale well; single-machine multi-GPU
+	// over PCIe scales reasonably.
+	ops, style, cfg := resnetCfg()
+	results := map[string]Result{}
+	for _, c := range Figure10Configs() {
+		results[c.Name] = Scale(ops, 32, style, cfg, c)
+	}
+	oneG := results["1M1G"].Throughput
+	eth := results["2M1G (ethernet)"].Throughput
+	ib := results["2M1G (infiniband)"].Throughput
+	g2 := results["1M2G"].Throughput
+	g4 := results["1M4G"].Throughput
+
+	if eth >= oneG {
+		t.Fatalf("2M over ethernet (%.1f) must be worse than one GPU (%.1f)", eth, oneG)
+	}
+	if ib <= oneG {
+		t.Fatalf("2M over infiniband (%.1f) must beat one GPU (%.1f)", ib, oneG)
+	}
+	if results["2M1G (infiniband)"].ScalingEfficiency < 0.8 {
+		t.Fatalf("infiniband scaling efficiency %.2f, want >= 0.8", results["2M1G (infiniband)"].ScalingEfficiency)
+	}
+	if !(g2 > oneG && g4 > g2) {
+		t.Fatalf("multi-GPU must scale: 1G %.1f, 2G %.1f, 4G %.1f", oneG, g2, g4)
+	}
+	if results["1M4G"].ScalingEfficiency < 0.7 {
+		t.Fatalf("1M4G scaling efficiency %.2f, want >= 0.7", results["1M4G"].ScalingEfficiency)
+	}
+}
+
+func TestScaleMonotoneInBatch(t *testing.T) {
+	ops, style, cfg := resnetCfg()
+	c := Figure10Configs()[4] // 1M4G
+	prev := 0.0
+	for _, b := range []int{8, 16, 32} {
+		r := Scale(ops, b, style, cfg, c)
+		if r.Throughput <= prev {
+			t.Fatalf("throughput not increasing at per-GPU batch %d", b)
+		}
+		prev = r.Throughput
+	}
+}
+
+func TestGradientBytesMatchParams(t *testing.T) {
+	m, _ := models.Lookup("ResNet-50")
+	var params int64
+	for _, op := range m.Ops() {
+		params += op.ParamElems()
+	}
+	if GradientBytes(m.Ops()) != params*4 {
+		t.Fatal("gradient bytes must be 4x parameter count")
+	}
+}
+
+func TestRingAllReduceBeatsParameterServerOnSharedLink(t *testing.T) {
+	ops, style, cfg := resnetCfg()
+	ps := Cluster{Name: "ps", Machines: 1, GPUsPerMachine: 4, IntraLink: device.PCIe3, Strategy: ParameterServer, OverlapFraction: 0}
+	ring := ps
+	ring.Strategy = RingAllReduce
+	rp := Scale(ops, 16, style, cfg, ps)
+	rr := Scale(ops, 16, style, cfg, ring)
+	if rr.Throughput <= rp.Throughput {
+		t.Fatalf("ring all-reduce (%.1f) should beat the parameter server (%.1f) at 4 GPUs", rr.Throughput, rp.Throughput)
+	}
+}
+
+func TestOverlapHidesCommunication(t *testing.T) {
+	ops, style, cfg := resnetCfg()
+	c := Figure10Configs()[3] // 1M2G
+	c.OverlapFraction = 0
+	noOverlap := Scale(ops, 16, style, cfg, c)
+	c.OverlapFraction = 0.9
+	overlap := Scale(ops, 16, style, cfg, c)
+	if overlap.Throughput <= noOverlap.Throughput {
+		t.Fatal("overlap must improve throughput")
+	}
+	if overlap.CommSec >= noOverlap.CommSec {
+		t.Fatal("overlap must reduce exposed communication")
+	}
+	if overlap.RawCommSec != noOverlap.RawCommSec {
+		t.Fatal("overlap must not change raw communication volume")
+	}
+}
+
+func TestSingleWorkerHasNoComm(t *testing.T) {
+	ops, style, cfg := resnetCfg()
+	r := Scale(ops, 8, style, cfg, Figure10Configs()[0])
+	if r.CommSec != 0 || r.RawCommSec != 0 {
+		t.Fatal("single worker must not communicate")
+	}
+	if math.Abs(r.ScalingEfficiency-1) > 1e-9 {
+		t.Fatalf("single-worker efficiency %.3f, want 1", r.ScalingEfficiency)
+	}
+}
+
+// --- real in-process data parallelism ---
+
+func mlpConstructor(seed uint64) func() *graph.Network {
+	return func() *graph.Network {
+		rng := tensor.NewRNG(seed)
+		return graph.New("mlp", layers.NewSequential("mlp",
+			layers.NewDense("fc1", 4, 16, rng),
+			layers.NewReLU("relu"),
+			layers.NewDense("fc2", 16, 3, rng),
+		))
+	}
+}
+
+func makeBatch(rng *tensor.RNG, n int) (*tensor.Tensor, []int) {
+	x := tensor.New(n, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(3)
+		labels[i] = c
+		for j := 0; j < 4; j++ {
+			v := float32(rng.Norm()) * 0.3
+			if j == c {
+				v += 2
+			}
+			x.Set(v, i, j)
+		}
+	}
+	return x, labels
+}
+
+func TestDataParallelEquivalentToSingleReplica(t *testing.T) {
+	// One synchronous data-parallel step over 4 shards must match a
+	// single-replica step over the full batch (same init, same data).
+	mk := mlpConstructor(42)
+	single := mk()
+	optS := optim.NewSGD(0.1)
+	rng := tensor.NewRNG(7)
+	x, labels := makeBatch(rng, 16)
+
+	// Single-replica reference step.
+	graph.TrainClassifierStep(single, optS, x, labels, 0)
+
+	replicas := []*graph.Network{mk(), mk(), mk(), mk()}
+	dp := NewDataParallel(optim.NewSGD(0.1), replicas...)
+	xs, ys := SplitBatch(x, labels, 4)
+	dp.Step(xs, ys)
+
+	sp := single.Params()
+	mp := dp.Replicas[0].Params()
+	for i := range sp {
+		if !tensor.Equal(sp[i].Value, mp[i].Value, 1e-5) {
+			t.Fatalf("parameter %s diverged between single and data-parallel steps", sp[i].Name)
+		}
+	}
+}
+
+func TestDataParallelKeepsReplicasInSync(t *testing.T) {
+	mk := mlpConstructor(1)
+	dp := NewDataParallel(optim.NewSGD(0.05), mk(), mk(), mk())
+	rng := tensor.NewRNG(2)
+	for i := 0; i < 10; i++ {
+		x, labels := makeBatch(rng, 12)
+		xs, ys := SplitBatch(x, labels, 3)
+		dp.Step(xs, ys)
+	}
+	base := dp.Replicas[0].Params()
+	for _, r := range dp.Replicas[1:] {
+		for i, p := range r.Params() {
+			if !tensor.Equal(base[i].Value, p.Value, 0) {
+				t.Fatal("replicas out of sync after training")
+			}
+		}
+	}
+}
+
+func TestDataParallelLearns(t *testing.T) {
+	mk := mlpConstructor(3)
+	dp := NewDataParallel(optim.NewSGD(0.2), mk(), mk())
+	rng := tensor.NewRNG(4)
+	var first, last float32
+	for i := 0; i < 80; i++ {
+		x, labels := makeBatch(rng, 32)
+		xs, ys := SplitBatch(x, labels, 2)
+		loss := dp.Step(xs, ys)
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first/2 {
+		t.Fatalf("data-parallel training did not converge: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestSplitBatchValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on indivisible batch")
+		}
+	}()
+	x := tensor.New(10, 2)
+	SplitBatch(x, make([]int, 10), 3)
+}
+
+func TestCloneNetworkCopiesWeights(t *testing.T) {
+	mk := mlpConstructor(9)
+	src := mk()
+	src.Params()[0].Value.Fill(3.25)
+	clone := CloneNetwork(src, mlpConstructor(10))
+	if !tensor.Equal(clone.Params()[0].Value, src.Params()[0].Value, 0) {
+		t.Fatal("clone did not copy weights")
+	}
+}

@@ -1,0 +1,179 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"tbd/internal/device"
+	"tbd/internal/kernels"
+	"tbd/internal/layers"
+	"tbd/internal/sim"
+	"tbd/internal/tensor"
+)
+
+// Model parallelism (§2.2): when one worker cannot hold the network, the
+// model itself is split across workers, each computing a contiguous stage
+// and shipping boundary activations to the next. The paper notes its
+// quality "depends highly on DNN architecture" and that careful
+// partitioning is needed for load balance and low communication — both
+// quantified here: PartitionOps balances stages by FLOPs, and
+// PipelineEstimate prices the resulting micro-batched pipeline (GPipe
+// style), including the bubble overhead and boundary transfers. A real
+// pipelined executor over goroutine stages demonstrates the mechanism on
+// the numeric engine.
+
+// StagePlan is one partitioning of a model across pipeline stages.
+type StagePlan struct {
+	Stages [][]*kernels.Op
+	// BoundaryElems[i] is the per-sample activation size crossing from
+	// stage i to stage i+1.
+	BoundaryElems []int64
+}
+
+// PartitionOps splits the op graph into k contiguous stages, greedily
+// balancing per-stage training FLOPs.
+func PartitionOps(ops []*kernels.Op, k int) StagePlan {
+	if k <= 0 || k > len(ops) {
+		panic(fmt.Sprintf("dist: cannot partition %d ops into %d stages", len(ops), k))
+	}
+	// Per-op cost = forward+backward FLOPs at batch 1.
+	costs := make([]float64, len(ops))
+	var total float64
+	for i, o := range ops {
+		c := kernels.TotalFLOPs(o.Forward(1, kernels.StyleTF)) + kernels.TotalFLOPs(o.Backward(1, kernels.StyleTF))
+		costs[i] = c
+		total += c
+	}
+	target := total / float64(k)
+	var plan StagePlan
+	var cur []*kernels.Op
+	var acc float64
+	stagesLeft := k
+	for i, o := range ops {
+		cur = append(cur, o)
+		acc += costs[i]
+		remainingOps := len(ops) - i - 1
+		// Close the stage when it reaches the target, keeping enough ops
+		// for the remaining stages.
+		if stagesLeft > 1 && acc >= target && remainingOps >= stagesLeft-1 {
+			plan.Stages = append(plan.Stages, cur)
+			plan.BoundaryElems = append(plan.BoundaryElems, o.OutputElemsPerSample())
+			cur = nil
+			acc = 0
+			stagesLeft--
+		}
+	}
+	plan.Stages = append(plan.Stages, cur)
+	return plan
+}
+
+// PipeResult is the estimated performance of a pipeline-parallel
+// configuration.
+type PipeResult struct {
+	// StageSec is each stage's per-micro-batch busy time (including
+	// boundary transfer).
+	StageSec []float64
+	// IterSec is the time for one full mini-batch (all micro-batches
+	// through all stages).
+	IterSec float64
+	// BubbleFraction is the idle share from pipeline fill/drain.
+	BubbleFraction float64
+	Throughput     float64
+}
+
+// PipelineEstimate prices a stage plan: the mini-batch is split into
+// microBatches chunks of microSize samples; stages execute concurrently
+// once the pipeline fills, so iteration time is sum(stage) +
+// (microBatches-1) * max(stage), the GPipe schedule.
+func PipelineEstimate(plan StagePlan, microSize, microBatches int, style kernels.NameStyle, cfg sim.Config, link *device.Interconnect) PipeResult {
+	if microSize <= 0 || microBatches <= 0 {
+		panic("dist: micro-batch geometry must be positive")
+	}
+	var res PipeResult
+	var sum, max float64
+	for i, stage := range plan.Stages {
+		r := sim.Simulate(stage, microSize, style, cfg)
+		t := r.GPUBusySec
+		if i < len(plan.BoundaryElems) && link != nil {
+			t += link.TransferTime(plan.BoundaryElems[i] * int64(microSize) * 4)
+		}
+		res.StageSec = append(res.StageSec, t)
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	res.IterSec = sum + float64(microBatches-1)*max
+	perfect := float64(microBatches) * sum / float64(len(plan.Stages))
+	if res.IterSec > 0 {
+		res.Throughput = float64(microSize*microBatches) / res.IterSec
+		res.BubbleFraction = 1 - perfect/(res.IterSec*1)
+		if res.BubbleFraction < 0 {
+			res.BubbleFraction = 0
+		}
+	}
+	return res
+}
+
+// --- real pipelined execution over goroutine stages ---
+
+// StagePipeline runs a layer-split network with one goroutine per stage,
+// streaming micro-batches through channels — real pipeline parallelism on
+// the numeric engine (inference path; training uses gradient
+// accumulation through the same stages sequentially).
+type StagePipeline struct {
+	stages []layers.Layer
+}
+
+// NewStagePipeline wraps an ordered stage list.
+func NewStagePipeline(stages ...layers.Layer) *StagePipeline {
+	if len(stages) == 0 {
+		panic("dist: pipeline needs at least one stage")
+	}
+	return &StagePipeline{stages: stages}
+}
+
+// ForwardPipelined pushes every micro-batch through the stages with all
+// stages running concurrently; results are returned in input order.
+func (p *StagePipeline) ForwardPipelined(micro []*tensor.Tensor) []*tensor.Tensor {
+	n := len(p.stages)
+	chans := make([]chan *tensor.Tensor, n+1)
+	for i := range chans {
+		chans[i] = make(chan *tensor.Tensor, 1)
+	}
+	var wg sync.WaitGroup
+	for s, layer := range p.stages {
+		wg.Add(1)
+		go func(s int, layer layers.Layer) {
+			defer wg.Done()
+			for x := range chans[s] {
+				chans[s+1] <- layer.Forward(x, false)
+			}
+			close(chans[s+1])
+		}(s, layer)
+	}
+	out := make([]*tensor.Tensor, 0, len(micro))
+	done := make(chan struct{})
+	go func() {
+		for y := range chans[n] {
+			out = append(out, y)
+		}
+		close(done)
+	}()
+	for _, x := range micro {
+		chans[0] <- x
+	}
+	close(chans[0])
+	wg.Wait()
+	<-done
+	return out
+}
+
+// Params returns all stage parameters.
+func (p *StagePipeline) Params() []*layers.Param {
+	var ps []*layers.Param
+	for _, s := range p.stages {
+		ps = append(ps, s.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"testing"
+
+	"tbd/internal/device"
+	"tbd/internal/kernels"
+	"tbd/internal/layers"
+	"tbd/internal/models"
+	"tbd/internal/tensor"
+)
+
+func TestPartitionOpsBalances(t *testing.T) {
+	m, _ := models.Lookup("ResNet-50")
+	ops := m.Ops()
+	plan := PartitionOps(ops, 4)
+	if len(plan.Stages) != 4 {
+		t.Fatalf("got %d stages, want 4", len(plan.Stages))
+	}
+	if len(plan.BoundaryElems) != 3 {
+		t.Fatalf("got %d boundaries, want 3", len(plan.BoundaryElems))
+	}
+	// Every op lands in exactly one stage, in order.
+	total := 0
+	for _, s := range plan.Stages {
+		total += len(s)
+	}
+	if total != len(ops) {
+		t.Fatalf("partition dropped ops: %d vs %d", total, len(ops))
+	}
+	// Stage FLOPs are within 3x of each other (greedy balance).
+	var costs []float64
+	for _, stage := range plan.Stages {
+		var c float64
+		for _, o := range stage {
+			c += kernels.TotalFLOPs(o.Forward(1, kernels.StyleTF))
+		}
+		costs = append(costs, c)
+	}
+	minC, maxC := costs[0], costs[0]
+	for _, c := range costs {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC/minC > 3 {
+		t.Fatalf("stage imbalance %.1fx: %v", maxC/minC, costs)
+	}
+}
+
+func TestPipelineBubbleShrinksWithMicroBatches(t *testing.T) {
+	m, _ := models.Lookup("ResNet-50")
+	_, style, cfg := resnetCfg()
+	plan := PartitionOps(m.Ops(), 4)
+	few := PipelineEstimate(plan, 8, 2, style, cfg, device.PCIe3)
+	many := PipelineEstimate(plan, 8, 16, style, cfg, device.PCIe3)
+	if many.BubbleFraction >= few.BubbleFraction {
+		t.Fatalf("bubble fraction did not shrink: %.3f -> %.3f", few.BubbleFraction, many.BubbleFraction)
+	}
+	if many.Throughput <= few.Throughput {
+		t.Fatalf("throughput did not improve with pipelining: %.1f -> %.1f", few.Throughput, many.Throughput)
+	}
+}
+
+func TestPipelineBalancedBeatsDegenerate(t *testing.T) {
+	m, _ := models.Lookup("ResNet-50")
+	_, style, cfg := resnetCfg()
+	ops := m.Ops()
+	balanced := PartitionOps(ops, 4)
+	// Degenerate plan: everything in stage 1, three trivial tail stages.
+	degenerate := StagePlan{
+		Stages: [][]*kernels.Op{
+			ops[:len(ops)-3], {ops[len(ops)-3]}, {ops[len(ops)-2]}, {ops[len(ops)-1]},
+		},
+		BoundaryElems: []int64{1000, 1000, 1000},
+	}
+	b := PipelineEstimate(balanced, 8, 8, style, cfg, device.PCIe3)
+	d := PipelineEstimate(degenerate, 8, 8, style, cfg, device.PCIe3)
+	if b.Throughput <= d.Throughput {
+		t.Fatalf("balanced plan (%.1f) should beat the degenerate one (%.1f)", b.Throughput, d.Throughput)
+	}
+}
+
+func TestPipelineSlowLinkHurts(t *testing.T) {
+	m, _ := models.Lookup("ResNet-50")
+	_, style, cfg := resnetCfg()
+	plan := PartitionOps(m.Ops(), 2)
+	pcie := PipelineEstimate(plan, 8, 8, style, cfg, device.PCIe3)
+	eth := PipelineEstimate(plan, 8, 8, style, cfg, device.Ethernet)
+	if eth.Throughput >= pcie.Throughput {
+		t.Fatal("ethernet boundary transfers must hurt pipeline throughput")
+	}
+}
+
+func TestStagePipelineMatchesSequential(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	s1 := layers.NewSequential("s1",
+		layers.NewDense("fc1", 4, 16, rng),
+		layers.NewReLU("r1"),
+	)
+	s2 := layers.NewSequential("s2",
+		layers.NewDense("fc2", 16, 3, rng),
+	)
+	pipe := NewStagePipeline(s1, s2)
+
+	micro := []*tensor.Tensor{
+		tensor.RandNormal(rng, 0, 1, 2, 4),
+		tensor.RandNormal(rng, 0, 1, 2, 4),
+		tensor.RandNormal(rng, 0, 1, 2, 4),
+	}
+	got := pipe.ForwardPipelined(micro)
+	if len(got) != 3 {
+		t.Fatalf("pipeline returned %d outputs", len(got))
+	}
+	for i, x := range micro {
+		want := s2.Forward(s1.Forward(x, false), false)
+		if !tensor.Equal(got[i], want, 1e-6) {
+			t.Fatalf("micro-batch %d output diverged from sequential execution", i)
+		}
+	}
+	if n := len(pipe.Params()); n != 4 {
+		t.Fatalf("pipeline params = %d, want 4", n)
+	}
+}
+
+func TestPartitionValidates(t *testing.T) {
+	m, _ := models.Lookup("A3C")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("too many stages must panic")
+		}
+	}()
+	PartitionOps(m.Ops(), 1000)
+}

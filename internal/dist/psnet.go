@@ -1,0 +1,305 @@
+package dist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"tbd/internal/layers"
+	"tbd/internal/optim"
+	"tbd/internal/tensor"
+)
+
+// A real parameter server over TCP (stdlib net + gob), the multi-machine
+// data-parallel scheme of §2.2/§4.5 (Li et al.): workers pull the current
+// weights, compute gradients on their shard, and push them back; the
+// server averages one push per worker, applies the optimizer, and
+// releases the next round. Training is fully synchronous, so N workers
+// over the network are numerically identical to one big-batch replica —
+// the property the cluster performance model assumes and the tests
+// verify end-to-end over real sockets.
+
+// psRequest is one worker->server message.
+type psRequest struct {
+	// Kind is "pull", "push", or "push16" (half-precision gradients).
+	Kind  string
+	Grads [][]float32
+	// HalfGrads carries fp16-compressed gradients for "push16" — half
+	// the wire bytes of a full-precision push (§4.5: reduce the data
+	// sent).
+	HalfGrads [][]uint16
+}
+
+// psResponse is one server->worker message.
+type psResponse struct {
+	Weights [][]float32
+	Version int
+	Err     string
+}
+
+// PSServer is the parameter-server endpoint.
+type PSServer struct {
+	params  []*layers.Param
+	opt     optim.Optimizer
+	workers int
+	// async applies each push immediately instead of waiting for a full
+	// synchronous round — the A3C-style update discipline (Hogwild over
+	// the network). Workers may then train on slightly stale weights.
+	async bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending [][]float32
+	pushes  int
+	version int
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// ServePS starts a parameter server on l managing params with opt,
+// expecting one gradient push per round from each of workers clients.
+// It returns immediately; Close shuts it down.
+func ServePS(l net.Listener, params []*layers.Param, opt optim.Optimizer, workers int) *PSServer {
+	if workers <= 0 {
+		panic("dist: parameter server needs at least one worker")
+	}
+	s := &PSServer{params: params, opt: opt, workers: workers, listener: l}
+	s.cond = sync.NewCond(&s.mu)
+	s.pending = make([][]float32, len(params))
+	for i, p := range params {
+		s.pending[i] = make([]float32, p.Value.Numel())
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// ServeAsyncPS starts an asynchronous parameter server: every push is
+// applied immediately with no round barrier, the update discipline the
+// paper's A3C benchmark uses. workers is advisory only.
+func ServeAsyncPS(l net.Listener, params []*layers.Param, opt optim.Optimizer) *PSServer {
+	s := ServePS(l, params, opt, 1)
+	s.async = true
+	return s
+}
+
+// Addr returns the listen address.
+func (s *PSServer) Addr() string { return s.listener.Addr().String() }
+
+// Version returns the number of applied update rounds.
+func (s *PSServer) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Close stops accepting connections and wakes any blocked pushes.
+func (s *PSServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *PSServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *PSServer) serveConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req psRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp psResponse
+		switch req.Kind {
+		case "pull":
+			resp = s.handlePull()
+		case "push":
+			resp = s.handlePush(req.Grads)
+		case "push16":
+			grads := make([][]float32, len(req.HalfGrads))
+			for i, hg := range req.HalfGrads {
+				grads[i] = tensor.DecodeHalf(hg)
+			}
+			resp = s.handlePush(grads)
+		default:
+			resp = psResponse{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *PSServer) handlePull() psResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return psResponse{Weights: s.snapshotLocked(), Version: s.version}
+}
+
+// snapshotLocked copies the current weights.
+func (s *PSServer) snapshotLocked() [][]float32 {
+	out := make([][]float32, len(s.params))
+	for i, p := range s.params {
+		out[i] = append([]float32(nil), p.Value.Data()...)
+	}
+	return out
+}
+
+func (s *PSServer) handlePush(grads [][]float32) psResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(grads) != len(s.params) {
+		return psResponse{Err: fmt.Sprintf("push with %d tensors, want %d", len(grads), len(s.params))}
+	}
+	for i, g := range grads {
+		if len(g) != len(s.pending[i]) {
+			return psResponse{Err: fmt.Sprintf("tensor %d has %d elements, want %d", i, len(g), len(s.pending[i]))}
+		}
+		for j, v := range g {
+			s.pending[i][j] += v
+		}
+	}
+	if s.async {
+		// Apply immediately; no barrier, no averaging across workers.
+		for i, p := range s.params {
+			dst := p.Grad.Data()
+			for j, v := range s.pending[i] {
+				dst[j] = v
+				s.pending[i][j] = 0
+			}
+		}
+		s.opt.Step(s.params)
+		optim.ZeroGrads(s.params)
+		s.version++
+		return psResponse{Weights: s.snapshotLocked(), Version: s.version}
+	}
+	s.pushes++
+	round := s.version
+	if s.pushes == s.workers {
+		// Average, apply, and release the round.
+		inv := 1 / float32(s.workers)
+		for i, p := range s.params {
+			dst := p.Grad.Data()
+			for j, v := range s.pending[i] {
+				dst[j] = v * inv
+				s.pending[i][j] = 0
+			}
+		}
+		s.opt.Step(s.params)
+		optim.ZeroGrads(s.params)
+		s.pushes = 0
+		s.version++
+		s.cond.Broadcast()
+	} else {
+		for s.version == round && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return psResponse{Err: "server closed"}
+		}
+	}
+	return psResponse{Weights: s.snapshotLocked(), Version: s.version}
+}
+
+// PSClient is a worker's connection to the parameter server.
+type PSClient struct {
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// DialPS connects a worker to the server at addr.
+func DialPS(addr string) (*PSClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial parameter server: %w", err)
+	}
+	return &PSClient{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *PSClient) Close() error { return c.conn.Close() }
+
+func (c *PSClient) roundTrip(req psRequest) (psResponse, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return psResponse{}, fmt.Errorf("dist: send %s: %w", req.Kind, err)
+	}
+	var resp psResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return psResponse{}, fmt.Errorf("dist: receive %s reply: %w", req.Kind, err)
+	}
+	if resp.Err != "" {
+		return psResponse{}, fmt.Errorf("dist: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Pull fetches the current weights and version.
+func (c *PSClient) Pull() ([][]float32, int, error) {
+	resp, err := c.roundTrip(psRequest{Kind: "pull"})
+	return resp.Weights, resp.Version, err
+}
+
+// Push submits this worker's gradients and blocks until the synchronous
+// round is applied, returning the post-update weights.
+func (c *PSClient) Push(grads [][]float32) ([][]float32, int, error) {
+	resp, err := c.roundTrip(psRequest{Kind: "push", Grads: grads})
+	return resp.Weights, resp.Version, err
+}
+
+// PushHalf submits fp16-compressed gradients (half the wire volume; the
+// server expands them before aggregation). Weights still return in full
+// precision.
+func (c *PSClient) PushHalf(grads [][]float32) ([][]float32, int, error) {
+	hg := make([][]uint16, len(grads))
+	for i, g := range grads {
+		hg[i] = tensor.EncodeHalf(g)
+	}
+	resp, err := c.roundTrip(psRequest{Kind: "push16", HalfGrads: hg})
+	return resp.Weights, resp.Version, err
+}
+
+// LoadWeights copies pulled weights into a parameter list.
+func LoadWeights(params []*layers.Param, weights [][]float32) error {
+	if len(weights) != len(params) {
+		return fmt.Errorf("dist: %d weight tensors for %d params", len(weights), len(params))
+	}
+	for i, w := range weights {
+		if len(w) != params[i].Value.Numel() {
+			return fmt.Errorf("dist: tensor %d has %d elements, want %d", i, len(w), params[i].Value.Numel())
+		}
+		copy(params[i].Value.Data(), w)
+	}
+	return nil
+}
+
+// GradSlices extracts gradient payloads for a push.
+func GradSlices(params []*layers.Param) [][]float32 {
+	out := make([][]float32, len(params))
+	for i, p := range params {
+		out[i] = append([]float32(nil), p.Grad.Data()...)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package framework models the three deep-learning frameworks the paper
+// benchmarks — TensorFlow, MXNet, and CNTK — as execution profiles over
+// the shared kernel cost model, the same way the real frameworks are
+// different schedulers and allocators over the same cuDNN/cuBLAS kernels
+// (§2.3). A profile fixes per-kernel dispatch overhead, RNN-loop sync
+// cost, per-iteration overhead, the memory-allocator policy of §3.4.3,
+// and a baseline speed factor.
+package framework
+
+import (
+	"fmt"
+
+	"tbd/internal/device"
+	"tbd/internal/kernels"
+	"tbd/internal/memprof"
+	"tbd/internal/sim"
+)
+
+// Framework is one execution profile.
+type Framework struct {
+	Name  string
+	Style kernels.NameStyle
+
+	// LaunchOverheadSec is host CPU time per kernel dispatch.
+	LaunchOverheadSec float64
+	// SyncOverheadSec is host time per RNN-loop sync point.
+	SyncOverheadSec float64
+	// IterOverheadSec is fixed per-iteration host work.
+	IterOverheadSec float64
+	// SpeedFactor is a baseline kernel-efficiency multiplier.
+	SpeedFactor float64
+	// PipelineCostFactor scales the dataset's host decode cost: CNTK's
+	// binary readers do almost no per-sample host work, which is why its
+	// CPU utilization in Figure 7 is near zero.
+	PipelineCostFactor float64
+
+	// MemPolicy is the allocator behaviour for the memory profiler.
+	MemPolicy memprof.Policy
+}
+
+// The three frameworks of the paper. Overheads reflect their 2018-era
+// architectures: TensorFlow's session/feed machinery is the heaviest,
+// MXNet's engine is lighter, and CNTK's C++ core uses almost no host CPU
+// (visible in the paper's Figure 7, where CNTK CPU utilization is ~0.1%).
+var (
+	TensorFlow = &Framework{
+		Name:               "TensorFlow",
+		Style:              kernels.StyleTF,
+		LaunchOverheadSec:  8e-6,
+		SyncOverheadSec:    150e-6,
+		IterOverheadSec:    5e-3,
+		SpeedFactor:        1.0,
+		PipelineCostFactor: 1.0,
+		MemPolicy: memprof.Policy{
+			WorkspaceFactor:               1.2,
+			OptimizerStateFloatsPerWeight: 1,
+			AllocatorSlack:                1.03,
+		},
+	}
+
+	MXNet = &Framework{
+		Name:               "MXNet",
+		Style:              kernels.StyleMXNet,
+		LaunchOverheadSec:  6e-6,
+		SyncOverheadSec:    180e-6,
+		IterOverheadSec:    3e-3,
+		SpeedFactor:        1.0,
+		PipelineCostFactor: 1.0,
+		MemPolicy: memprof.Policy{
+			WorkspaceFactor:               1.0,
+			OptimizerStateFloatsPerWeight: 1,
+			DynamicOptimizerState:         true,
+			AllocatorSlack:                1.10,
+		},
+	}
+
+	CNTK = &Framework{
+		Name:               "CNTK",
+		Style:              kernels.StyleCNTK,
+		LaunchOverheadSec:  3e-6,
+		SyncOverheadSec:    120e-6,
+		IterOverheadSec:    8e-4,
+		SpeedFactor:        0.88,
+		PipelineCostFactor: 0.02,
+		MemPolicy: memprof.Policy{
+			WorkspaceFactor:               0.8,
+			OptimizerStateFloatsPerWeight: 1,
+			AllocatorSlack:                1.05,
+		},
+	}
+)
+
+// All lists the built-in frameworks.
+func All() []*Framework { return []*Framework{TensorFlow, MXNet, CNTK} }
+
+// Lookup resolves a framework by name (case-sensitive, as printed in the
+// paper's figures).
+func Lookup(name string) (*Framework, error) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("framework: unknown framework %q", name)
+}
+
+// SimConfig builds the simulator configuration for this framework on the
+// given GPU. hostCPUSecPerSample is the model/dataset-specific host-side
+// work (input pipeline, environment stepping); speedFactor is a
+// model-specific implementation-efficiency multiplier (1 = neutral)
+// capturing that, e.g., MXNet's image models outperform TensorFlow's
+// while TensorFlow's seq2seq outperforms Sockeye (Observation 3).
+func (f *Framework) SimConfig(gpu *device.GPU, hostCPUSecPerSample, speedFactor float64) sim.Config {
+	if speedFactor == 0 {
+		speedFactor = 1
+	}
+	pf := f.PipelineCostFactor
+	if pf == 0 {
+		pf = 1
+	}
+	return sim.Config{
+		GPU:                 gpu,
+		LaunchOverheadSec:   f.LaunchOverheadSec,
+		SyncOverheadSec:     f.SyncOverheadSec,
+		IterOverheadSec:     f.IterOverheadSec,
+		HostCPUSecPerSample: hostCPUSecPerSample * pf,
+		SpeedFactor:         f.SpeedFactor * speedFactor,
+	}
+}
+
+// String implements fmt.Stringer.
+func (f *Framework) String() string { return f.Name }

@@ -1,0 +1,78 @@
+package framework
+
+import (
+	"testing"
+
+	"tbd/internal/device"
+	"tbd/internal/kernels"
+)
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"TensorFlow", "MXNet", "CNTK"} {
+		f, err := Lookup(name)
+		if err != nil || f.Name != name {
+			t.Fatalf("Lookup(%q) = %v, %v", name, f, err)
+		}
+	}
+	if _, err := Lookup("Caffe"); err == nil {
+		t.Fatal("unknown framework must fail")
+	}
+	if len(All()) != 3 {
+		t.Fatalf("All() has %d frameworks, want 3", len(All()))
+	}
+}
+
+func TestProfilesAreDistinct(t *testing.T) {
+	if TensorFlow.Style == MXNet.Style || MXNet.Style == CNTK.Style {
+		t.Fatal("name styles must differ")
+	}
+	// CNTK's host footprint must be far below TensorFlow's — the basis
+	// of its near-zero CPU utilization in Figure 7.
+	if CNTK.IterOverheadSec*3 > TensorFlow.IterOverheadSec {
+		t.Fatal("CNTK iteration overhead should be much smaller than TF")
+	}
+	if CNTK.LaunchOverheadSec >= TensorFlow.LaunchOverheadSec {
+		t.Fatal("CNTK launch overhead should be below TF")
+	}
+}
+
+func TestOnlyMXNetReportsDynamicMemory(t *testing.T) {
+	if !MXNet.MemPolicy.DynamicOptimizerState {
+		t.Fatal("MXNet must allocate optimizer state dynamically (§3.4.3)")
+	}
+	if TensorFlow.MemPolicy.DynamicOptimizerState || CNTK.MemPolicy.DynamicOptimizerState {
+		t.Fatal("TF/CNTK must allocate optimizer state statically")
+	}
+}
+
+func TestSimConfigComposesSpeedFactors(t *testing.T) {
+	cfg := CNTK.SimConfig(device.QuadroP4000, 1e-3, 1.5)
+	if cfg.SpeedFactor != 0.88*1.5 {
+		t.Fatalf("speed factor %.3f", cfg.SpeedFactor)
+	}
+	// CNTK's binary reader discounts the decode cost.
+	if cfg.HostCPUSecPerSample != 1e-3*0.02 {
+		t.Fatalf("host CPU cost %.2e, want pipeline-discounted", cfg.HostCPUSecPerSample)
+	}
+	tfCfg := TensorFlow.SimConfig(device.QuadroP4000, 1e-3, 1)
+	if tfCfg.HostCPUSecPerSample != 1e-3 {
+		t.Fatal("TF pipeline cost must pass through unscaled")
+	}
+	// Zero model factor means neutral.
+	cfg = TensorFlow.SimConfig(device.TitanXp, 0, 0)
+	if cfg.SpeedFactor != 1.0 {
+		t.Fatalf("neutral speed factor %.3f", cfg.SpeedFactor)
+	}
+	if cfg.GPU != device.TitanXp {
+		t.Fatal("GPU not threaded through")
+	}
+}
+
+func TestStylesMatchEmission(t *testing.T) {
+	op := &kernels.Op{Name: "fc", Kind: kernels.OpDense, In: 4, Out: 4, Rows: 1}
+	tf := op.Forward(1, TensorFlow.Style)
+	mx := op.Forward(1, MXNet.Style)
+	if tf[1].Name == mx[1].Name {
+		t.Fatal("per-framework kernel names must differ")
+	}
+}

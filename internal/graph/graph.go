@@ -1,0 +1,145 @@
+// Package graph ties layers into trainable networks and provides the
+// train-step drivers (forward, loss, backward, update) used by the numeric
+// twins of the TBD benchmark models.
+package graph
+
+import (
+	"fmt"
+
+	"tbd/internal/layers"
+	"tbd/internal/optim"
+	"tbd/internal/tensor"
+)
+
+// Network is a trainable model: a root layer (usually a container) plus
+// bookkeeping for parameters and memory accounting.
+type Network struct {
+	Name string
+	Root layers.Layer
+}
+
+// New wraps a root layer as a network.
+func New(name string, root layers.Layer) *Network {
+	return &Network{Name: name, Root: root}
+}
+
+// Forward runs the network.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return n.Root.Forward(x, train)
+}
+
+// Backward propagates gradients.
+func (n *Network) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	return n.Root.Backward(gy)
+}
+
+// Params returns all trainable parameters.
+func (n *Network) Params() []*layers.Param { return n.Root.Params() }
+
+// ParamCount returns the number of trainable scalars.
+func (n *Network) ParamCount() int64 { return layers.ParamCount(n.Params()) }
+
+// WeightBytes returns the weight memory footprint.
+func (n *Network) WeightBytes() int64 { return n.ParamCount() * 4 }
+
+// GradientBytes returns the weight-gradient footprint (same as weights).
+func (n *Network) GradientBytes() int64 { return n.ParamCount() * 4 }
+
+// StashBytes returns the feature-map bytes currently cached for backward.
+func (n *Network) StashBytes() int64 { return n.Root.StashBytes() }
+
+// StepResult reports one training step.
+type StepResult struct {
+	Loss     float32
+	Accuracy float64
+	GradNorm float32
+}
+
+// TrainClassifierStep runs one supervised step: forward, softmax
+// cross-entropy against labels, backward, optional gradient clipping
+// (clip <= 0 disables), and an optimizer update.
+func TrainClassifierStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels []int, clip float32) StepResult {
+	params := n.Params()
+	optim.ZeroGrads(params)
+	logits := n.Forward(x, true)
+	loss, grad := tensor.CrossEntropy(logits, labels)
+	n.Backward(grad)
+	var norm float32
+	if clip > 0 {
+		norm = optim.ClipGradNorm(params, clip)
+	}
+	opt.Step(params)
+	return StepResult{Loss: loss, Accuracy: tensor.Accuracy(logits, labels), GradNorm: norm}
+}
+
+// EvalClassifier computes loss and accuracy without updating weights.
+func EvalClassifier(n *Network, x *tensor.Tensor, labels []int) StepResult {
+	logits := n.Forward(x, false)
+	loss, _ := tensor.CrossEntropy(logits, labels)
+	return StepResult{Loss: loss, Accuracy: tensor.Accuracy(logits, labels)}
+}
+
+// TrainClassifierAccumulated runs one effective training step as k
+// micro-batches with gradient accumulation: the same update as one big
+// batch, at 1/k the peak feature-map memory — the batch/memory trade
+// behind the paper's Observation 12. microX/microLabels hold the k
+// shards; their sizes must be equal.
+func TrainClassifierAccumulated(n *Network, opt optim.Optimizer, microX []*tensor.Tensor, microLabels [][]int, clip float32) StepResult {
+	k := len(microX)
+	if k == 0 || len(microLabels) != k {
+		panic(fmt.Sprintf("graph: %d micro-batches with %d label sets", k, len(microLabels)))
+	}
+	params := n.Params()
+	optim.ZeroGrads(params)
+	var lossSum float64
+	var correct, total int
+	inv := 1 / float32(k)
+	for i := 0; i < k; i++ {
+		logits := n.Forward(microX[i], true)
+		loss, grad := tensor.CrossEntropy(logits, microLabels[i])
+		// CrossEntropy already averages within the micro-batch; scale by
+		// 1/k so the accumulated gradient averages over the full batch.
+		grad.ScaleInPlace(inv)
+		n.Backward(grad)
+		lossSum += float64(loss)
+		pred := tensor.ArgmaxRows(logits)
+		for j, p := range pred {
+			if p == microLabels[i][j] {
+				correct++
+			}
+			total++
+			_ = j
+		}
+	}
+	var norm float32
+	if clip > 0 {
+		norm = optim.ClipGradNorm(params, clip)
+	}
+	opt.Step(params)
+	return StepResult{
+		Loss:     float32(lossSum / float64(k)),
+		Accuracy: float64(correct) / float64(total),
+		GradNorm: norm,
+	}
+}
+
+// TrainSequenceStep runs one step of per-token classification for sequence
+// models: logits [N*T, V] against flat labels.
+func TrainSequenceStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels []int, clip float32) StepResult {
+	params := n.Params()
+	optim.ZeroGrads(params)
+	out := n.Forward(x, true)
+	rows := len(labels)
+	if out.Numel()%rows != 0 {
+		panic(fmt.Sprintf("graph: output %v incompatible with %d labels", out.Shape(), rows))
+	}
+	logits := out.Reshape(rows, out.Numel()/rows)
+	loss, grad := tensor.CrossEntropy(logits, labels)
+	n.Backward(grad.Reshape(out.Shape()...))
+	var norm float32
+	if clip > 0 {
+		norm = optim.ClipGradNorm(params, clip)
+	}
+	opt.Step(params)
+	return StepResult{Loss: loss, Accuracy: tensor.Accuracy(logits, labels), GradNorm: norm}
+}

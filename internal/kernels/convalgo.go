@@ -1,0 +1,133 @@
+package kernels
+
+import "sort"
+
+// Convolution algorithm selection: cuDNN offers several convolution
+// algorithms that trade scratch memory for speed, and frameworks pick
+// among them under a workspace budget (the auto-tuning phase of §3.4.2).
+// This models the three canonical choices and implements a budgeted
+// selector — making the paper's Observation 12 recommendation ("use the
+// memory freed by smaller mini-batches for larger workspace / faster
+// convolutions") an executable analysis.
+
+// ConvAlgo identifies a convolution implementation.
+type ConvAlgo int
+
+// The modeled cuDNN algorithm families.
+const (
+	// AlgoPrecompGEMM is the default: precomputed-index implicit GEMM,
+	// moderate workspace (the baseline cost model).
+	AlgoPrecompGEMM ConvAlgo = iota
+	// AlgoImplicitGEMM needs almost no workspace but runs slower.
+	AlgoImplicitGEMM
+	// AlgoWinograd is fastest for 3x3 stride-1 convolutions but needs a
+	// large transform workspace.
+	AlgoWinograd
+)
+
+// String implements fmt.Stringer.
+func (a ConvAlgo) String() string {
+	switch a {
+	case AlgoImplicitGEMM:
+		return "implicit-gemm"
+	case AlgoWinograd:
+		return "winograd"
+	default:
+		return "precomp-gemm"
+	}
+}
+
+// algoProfile gives each algorithm's efficiency multiplier (over the conv
+// class baseline) and workspace multiplier (over the precomp-GEMM
+// baseline buffer).
+func algoProfile(a ConvAlgo) (effScale, workspaceScale float64) {
+	switch a {
+	case AlgoImplicitGEMM:
+		return 0.80, 0.05
+	case AlgoWinograd:
+		return 1.30, 2.0
+	default:
+		return 1.0, 1.0
+	}
+}
+
+// convKernelName returns the cuDNN-style kernel name for a convolution
+// algorithm.
+func convKernelName(a ConvAlgo, dir string) string {
+	switch a {
+	case AlgoWinograd:
+		return "cudnn::winograd128x128_ldg1_ldg4_" + dir
+	case AlgoImplicitGEMM:
+		return "cudnn::detail::implicit_convolve_sgemm"
+	default:
+		return "cudnn::detail::implicit_convolve_sgemm"
+	}
+}
+
+// WinogradEligible reports whether the op can use the Winograd transform
+// (3x3 stride-1 convolutions).
+func (o *Op) WinogradEligible() bool {
+	return o.Kind == OpConv2D && o.K == 3 && o.Stride == 1
+}
+
+// CloneOps shallow-copies an op graph so per-run algorithm choices don't
+// mutate the shared model cache.
+func CloneOps(ops []*Op) []*Op {
+	out := make([]*Op, len(ops))
+	for i, o := range ops {
+		c := *o
+		out[i] = &c
+	}
+	return out
+}
+
+// ChooseConvAlgos assigns convolution algorithms to a (cloned) op graph
+// so that the workspace arena (the max across ops at the given batch)
+// fits budgetBytes: every eligible conv starts at Winograd; the
+// largest-workspace offenders are downgraded (Winograd -> precomp ->
+// implicit) until the arena fits. It returns the ops and the resulting
+// arena size.
+func ChooseConvAlgos(ops []*Op, batch int, budgetBytes int64) ([]*Op, int64) {
+	out := CloneOps(ops)
+	for _, o := range out {
+		if o.Kind != OpConv2D {
+			continue
+		}
+		if o.WinogradEligible() {
+			o.Algo = AlgoWinograd
+		} else {
+			o.Algo = AlgoPrecompGEMM
+		}
+	}
+	arena := func() int64 {
+		var m int64
+		for _, o := range out {
+			if w := o.WorkspaceBytes(batch); w > m {
+				m = w
+			}
+		}
+		return m
+	}
+	for arena() > budgetBytes {
+		// Downgrade the largest-workspace conv one notch.
+		convs := make([]*Op, 0, len(out))
+		for _, o := range out {
+			if o.Kind == OpConv2D && o.Algo != AlgoImplicitGEMM {
+				convs = append(convs, o)
+			}
+		}
+		if len(convs) == 0 {
+			break // nothing left to shrink
+		}
+		sort.Slice(convs, func(i, j int) bool {
+			return convs[i].WorkspaceBytes(batch) > convs[j].WorkspaceBytes(batch)
+		})
+		top := convs[0]
+		if top.Algo == AlgoWinograd {
+			top.Algo = AlgoPrecompGEMM
+		} else {
+			top.Algo = AlgoImplicitGEMM
+		}
+	}
+	return out, arena()
+}

@@ -1,0 +1,206 @@
+package layers
+
+import (
+	"math"
+
+	"tbd/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	name string
+	mask *tensor.Tensor
+}
+
+// NewReLU constructs a ReLU activation.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+func (l *ReLU) Name() string { return l.name }
+
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	var mask *tensor.Tensor
+	if train {
+		mask = tensor.New(x.Shape()...)
+	}
+	for i, v := range x.Data() {
+		if v > 0 {
+			out.Data()[i] = v
+			if mask != nil {
+				mask.Data()[i] = 1
+			}
+		}
+	}
+	l.mask = mask
+	return out
+}
+
+func (l *ReLU) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	requireForward(l.name, l.mask)
+	return tensor.Mul(gy, l.mask)
+}
+
+func (l *ReLU) Params() []*Param  { return nil }
+func (l *ReLU) StashBytes() int64 { return bytesOf(l.mask) }
+
+// LeakyReLU applies x if x>0 else alpha*x (used by WGAN critics).
+type LeakyReLU struct {
+	name  string
+	Alpha float32
+	x     *tensor.Tensor
+}
+
+// NewLeakyReLU constructs a leaky ReLU with the given negative slope.
+func NewLeakyReLU(name string, alpha float32) *LeakyReLU {
+	return &LeakyReLU{name: name, Alpha: alpha}
+}
+
+func (l *LeakyReLU) Name() string { return l.name }
+
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.x = x
+	} else {
+		l.x = nil
+	}
+	return tensor.Apply(x, func(v float32) float32 {
+		if v > 0 {
+			return v
+		}
+		return l.Alpha * v
+	})
+}
+
+func (l *LeakyReLU) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	requireForward(l.name, l.x)
+	out := tensor.New(gy.Shape()...)
+	for i, v := range l.x.Data() {
+		if v > 0 {
+			out.Data()[i] = gy.Data()[i]
+		} else {
+			out.Data()[i] = l.Alpha * gy.Data()[i]
+		}
+	}
+	return out
+}
+
+func (l *LeakyReLU) Params() []*Param  { return nil }
+func (l *LeakyReLU) StashBytes() int64 { return bytesOf(l.x) }
+
+// Sigmoid applies the logistic function elementwise.
+type Sigmoid struct {
+	name string
+	y    *tensor.Tensor
+}
+
+// NewSigmoid constructs a sigmoid activation.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+func (l *Sigmoid) Name() string { return l.name }
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.Apply(x, sigmoid)
+	if train {
+		l.y = y
+	} else {
+		l.y = nil
+	}
+	return y
+}
+
+func (l *Sigmoid) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	requireForward(l.name, l.y)
+	out := tensor.New(gy.Shape()...)
+	for i, y := range l.y.Data() {
+		out.Data()[i] = gy.Data()[i] * y * (1 - y)
+	}
+	return out
+}
+
+func (l *Sigmoid) Params() []*Param  { return nil }
+func (l *Sigmoid) StashBytes() int64 { return bytesOf(l.y) }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	name string
+	y    *tensor.Tensor
+}
+
+// NewTanh constructs a tanh activation.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+func (l *Tanh) Name() string { return l.name }
+
+func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := tensor.Apply(x, func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	if train {
+		l.y = y
+	} else {
+		l.y = nil
+	}
+	return y
+}
+
+func (l *Tanh) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	requireForward(l.name, l.y)
+	out := tensor.New(gy.Shape()...)
+	for i, y := range l.y.Data() {
+		out.Data()[i] = gy.Data()[i] * (1 - y*y)
+	}
+	return out
+}
+
+func (l *Tanh) Params() []*Param  { return nil }
+func (l *Tanh) StashBytes() int64 { return bytesOf(l.y) }
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1-P) (inverted dropout), becoming identity at
+// inference.
+type Dropout struct {
+	name string
+	P    float32
+	rng  *tensor.RNG
+	mask *tensor.Tensor
+}
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(name string, p float32, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("layers: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{name: name, P: p, rng: rng}
+}
+
+func (l *Dropout) Name() string { return l.name }
+
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.P == 0 {
+		l.mask = nil
+		return x
+	}
+	scale := 1 / (1 - l.P)
+	mask := tensor.New(x.Shape()...)
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data() {
+		if l.rng.Float32() >= l.P {
+			mask.Data()[i] = scale
+			out.Data()[i] = v * scale
+		}
+	}
+	l.mask = mask
+	return out
+}
+
+func (l *Dropout) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return gy
+	}
+	return tensor.Mul(gy, l.mask)
+}
+
+func (l *Dropout) Params() []*Param  { return nil }
+func (l *Dropout) StashBytes() int64 { return bytesOf(l.mask) }

@@ -1,0 +1,189 @@
+package layers
+
+import (
+	"fmt"
+
+	"tbd/internal/tensor"
+)
+
+// Bidirectional runs two recurrent layers over a sequence — one forward,
+// one on the time-reversed input — and concatenates their outputs along
+// the feature axis, producing [N, T, 2H]. Deep Speech 2 and GNMT-style
+// encoders use exactly this structure.
+type Bidirectional struct {
+	name     string
+	Fwd, Bwd Layer
+	h        int // per-direction hidden size
+}
+
+// NewBidirectional wraps forward and backward recurrent layers that both
+// map [N, T, In] -> [N, T, h].
+func NewBidirectional(name string, fwd, bwd Layer, hidden int) *Bidirectional {
+	return &Bidirectional{name: name, Fwd: fwd, Bwd: bwd, h: hidden}
+}
+
+// NewBiLSTM builds a bidirectional LSTM with fresh weights per direction.
+func NewBiLSTM(name string, in, hidden int, rng *tensor.RNG) *Bidirectional {
+	return NewBidirectional(name,
+		NewLSTM(name+".fwd", in, hidden, rng),
+		NewLSTM(name+".bwd", in, hidden, rng),
+		hidden)
+}
+
+// NewBiRNN builds a bidirectional vanilla RNN (the Deep Speech 2 layer).
+func NewBiRNN(name string, in, hidden int, rng *tensor.RNG) *Bidirectional {
+	return NewBidirectional(name,
+		NewRNN(name+".fwd", in, hidden, rng),
+		NewRNN(name+".bwd", in, hidden, rng),
+		hidden)
+}
+
+func (l *Bidirectional) Name() string { return l.name }
+
+// reverseTime returns x [N, T, F] with the time axis flipped.
+func reverseTime(x *tensor.Tensor) *tensor.Tensor {
+	n, T, f := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(n, T, f)
+	for b := 0; b < n; b++ {
+		for t := 0; t < T; t++ {
+			src := x.Data()[(b*T+t)*f : (b*T+t+1)*f]
+			copy(out.Data()[(b*T+(T-1-t))*f:(b*T+(T-t))*f], src)
+		}
+	}
+	return out
+}
+
+func (l *Bidirectional) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("layers: %s expects [N,T,F], got %v", l.name, x.Shape()))
+	}
+	yf := l.Fwd.Forward(x, train)
+	yb := reverseTime(l.Bwd.Forward(reverseTime(x), train))
+	n, T := x.Dim(0), x.Dim(1)
+	out := tensor.New(n, T, 2*l.h)
+	for b := 0; b < n; b++ {
+		for t := 0; t < T; t++ {
+			dst := out.Data()[(b*T+t)*2*l.h : (b*T+t+1)*2*l.h]
+			copy(dst[:l.h], yf.Data()[(b*T+t)*l.h:(b*T+t+1)*l.h])
+			copy(dst[l.h:], yb.Data()[(b*T+t)*l.h:(b*T+t+1)*l.h])
+		}
+	}
+	return out
+}
+
+func (l *Bidirectional) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	n, T := gy.Dim(0), gy.Dim(1)
+	gf := tensor.New(n, T, l.h)
+	gb := tensor.New(n, T, l.h)
+	for b := 0; b < n; b++ {
+		for t := 0; t < T; t++ {
+			src := gy.Data()[(b*T+t)*2*l.h : (b*T+t+1)*2*l.h]
+			copy(gf.Data()[(b*T+t)*l.h:(b*T+t+1)*l.h], src[:l.h])
+			copy(gb.Data()[(b*T+t)*l.h:(b*T+t+1)*l.h], src[l.h:])
+		}
+	}
+	gx := l.Fwd.Backward(gf)
+	gxb := reverseTime(l.Bwd.Backward(reverseTime(gb)))
+	tensor.AddInPlace(gx, gxb)
+	return gx
+}
+
+func (l *Bidirectional) Params() []*Param {
+	return append(l.Fwd.Params(), l.Bwd.Params()...)
+}
+
+func (l *Bidirectional) StashBytes() int64 {
+	return l.Fwd.StashBytes() + l.Bwd.StashBytes()
+}
+
+// ConcatChannels merges parallel branches along the channel axis of NCHW
+// tensors — the join of an Inception mixed block. Each branch consumes
+// the same input; gradients to the input are summed.
+type ConcatChannels struct {
+	name     string
+	Branches []Layer
+	outC     []int // channels contributed per branch (recorded at forward)
+}
+
+// NewConcatChannels builds the block from parallel branches.
+func NewConcatChannels(name string, branches ...Layer) *ConcatChannels {
+	if len(branches) == 0 {
+		panic("layers: ConcatChannels needs at least one branch")
+	}
+	return &ConcatChannels{name: name, Branches: branches}
+}
+
+func (l *ConcatChannels) Name() string { return l.name }
+
+func (l *ConcatChannels) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(l.Branches))
+	l.outC = l.outC[:0]
+	totalC := 0
+	var n, h, w int
+	for i, br := range l.Branches {
+		y := br.Forward(x, train)
+		if y.Rank() != 4 {
+			panic(fmt.Sprintf("layers: %s branch %d produced rank %d", l.name, i, y.Rank()))
+		}
+		if i == 0 {
+			n, h, w = y.Dim(0), y.Dim(2), y.Dim(3)
+		} else if y.Dim(2) != h || y.Dim(3) != w {
+			panic(fmt.Sprintf("layers: %s branch %d spatial mismatch %v", l.name, i, y.Shape()))
+		}
+		outs[i] = y
+		l.outC = append(l.outC, y.Dim(1))
+		totalC += y.Dim(1)
+	}
+	out := tensor.New(n, totalC, h, w)
+	plane := h * w
+	for b := 0; b < n; b++ {
+		off := 0
+		for i, y := range outs {
+			c := l.outC[i]
+			copy(out.Data()[(b*totalC+off)*plane:(b*totalC+off+c)*plane],
+				y.Data()[b*c*plane:(b+1)*c*plane])
+			off += c
+		}
+	}
+	return out
+}
+
+func (l *ConcatChannels) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	n, h, w := gy.Dim(0), gy.Dim(2), gy.Dim(3)
+	totalC := gy.Dim(1)
+	plane := h * w
+	var gx *tensor.Tensor
+	off := 0
+	for i, br := range l.Branches {
+		c := l.outC[i]
+		g := tensor.New(n, c, h, w)
+		for b := 0; b < n; b++ {
+			copy(g.Data()[b*c*plane:(b+1)*c*plane],
+				gy.Data()[(b*totalC+off)*plane:(b*totalC+off+c)*plane])
+		}
+		off += c
+		bg := br.Backward(g)
+		if gx == nil {
+			gx = bg
+		} else {
+			tensor.AddInPlace(gx, bg)
+		}
+	}
+	return gx
+}
+
+func (l *ConcatChannels) Params() []*Param {
+	var ps []*Param
+	for _, br := range l.Branches {
+		ps = append(ps, br.Params()...)
+	}
+	return ps
+}
+
+func (l *ConcatChannels) StashBytes() int64 {
+	var s int64
+	for _, br := range l.Branches {
+		s += br.StashBytes()
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package layers
+
+import (
+	"fmt"
+
+	"tbd/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs with optional bias.
+type Conv2D struct {
+	name                string
+	InC, OutC           int
+	KH, KW, Stride, Pad int
+	W, B                *Param
+	useBias             bool
+	x                   *tensor.Tensor
+}
+
+// NewConv2D constructs a convolution with He-initialized weights (the
+// standard for the ReLU CNNs in the suite).
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	fanIn := inC * k * k
+	return &Conv2D{
+		name: name, InC: inC, OutC: outC,
+		KH: k, KW: k, Stride: stride, Pad: pad,
+		W:       NewParam(name+".W", tensor.HeInit(rng, fanIn, outC, inC, k, k)),
+		B:       NewParam(name+".b", tensor.New(outC)),
+		useBias: true,
+	}
+}
+
+// NewConv2DNoBias constructs a convolution without bias (the usual choice
+// before a BatchNorm).
+func NewConv2DNoBias(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	c := NewConv2D(name, inC, outC, k, stride, pad, rng)
+	c.useBias = false
+	return c
+}
+
+func (c *Conv2D) Name() string { return c.name }
+
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("layers: %s expects [N,%d,H,W], got %v", c.name, c.InC, x.Shape()))
+	}
+	if train {
+		c.x = x
+	} else {
+		c.x = nil
+	}
+	y := tensor.Conv2DParallel(x, c.W.Value, c.Stride, c.Pad)
+	if c.useBias {
+		// Bias is per output channel; broadcast over N and spatial dims.
+		n, f, oh, ow := y.Dim(0), y.Dim(1), y.Dim(2), y.Dim(3)
+		for b := 0; b < n; b++ {
+			for ch := 0; ch < f; ch++ {
+				bias := c.B.Value.Data()[ch]
+				plane := y.Data()[(b*f+ch)*oh*ow : (b*f+ch+1)*oh*ow]
+				for i := range plane {
+					plane[i] += bias
+				}
+			}
+		}
+	}
+	return y
+}
+
+func (c *Conv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	requireForward(c.name, c.x)
+	gx, gw := tensor.Conv2DBackward(c.x, c.W.Value, gy, c.Stride, c.Pad)
+	tensor.AddInPlace(c.W.Grad, gw)
+	if c.useBias {
+		n, f, oh, ow := gy.Dim(0), gy.Dim(1), gy.Dim(2), gy.Dim(3)
+		for b := 0; b < n; b++ {
+			for ch := 0; ch < f; ch++ {
+				plane := gy.Data()[(b*f+ch)*oh*ow : (b*f+ch+1)*oh*ow]
+				var s float32
+				for _, v := range plane {
+					s += v
+				}
+				c.B.Grad.Data()[ch] += s
+			}
+		}
+	}
+	return gx
+}
+
+func (c *Conv2D) Params() []*Param {
+	if c.useBias {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}
+
+func (c *Conv2D) StashBytes() int64 { return bytesOf(c.x) }
+
+// WorkspaceBytes reports the im2col scratch buffer size for a given input,
+// which the memory profiler attributes to the "workspace" category — the
+// analogue of cuDNN convolution workspace.
+func (c *Conv2D) WorkspaceBytes(n, h, w int) int64 {
+	oh := tensor.ConvOut(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOut(w, c.KW, c.Stride, c.Pad)
+	return int64(n*oh*ow) * int64(c.InC*c.KH*c.KW) * 4
+}
+
+// MaxPool2D is max pooling over NCHW inputs.
+type MaxPool2D struct {
+	name      string
+	K, Stride int
+	idx       []int
+	inShape   []int
+}
+
+// NewMaxPool2D constructs a max-pooling layer.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	return &MaxPool2D{name: name, K: k, Stride: stride}
+}
+
+func (l *MaxPool2D) Name() string { return l.name }
+
+func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y, idx := tensor.MaxPool2D(x, l.K, l.Stride)
+	if train {
+		l.idx = idx
+		l.inShape = append([]int(nil), x.Shape()...)
+	} else {
+		l.idx = nil
+	}
+	return y
+}
+
+func (l *MaxPool2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	if l.idx == nil {
+		panic(fmt.Sprintf("layers: %s.Backward called before Forward(train=true)", l.name))
+	}
+	return tensor.MaxPool2DBackward(gy, l.idx, l.inShape)
+}
+
+func (l *MaxPool2D) Params() []*Param  { return nil }
+func (l *MaxPool2D) StashBytes() int64 { return int64(len(l.idx)) * 8 }
+
+// AvgPool2D is average pooling over NCHW inputs.
+type AvgPool2D struct {
+	name      string
+	K, Stride int
+	inShape   []int
+}
+
+// NewAvgPool2D constructs an average-pooling layer.
+func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
+	return &AvgPool2D{name: name, K: k, Stride: stride}
+}
+
+func (l *AvgPool2D) Name() string { return l.name }
+
+func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = append([]int(nil), x.Shape()...)
+	return tensor.AvgPool2D(x, l.K, l.Stride)
+}
+
+func (l *AvgPool2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPool2DBackward(gy, l.inShape, l.K, l.Stride)
+}
+
+func (l *AvgPool2D) Params() []*Param  { return nil }
+func (l *AvgPool2D) StashBytes() int64 { return 0 }
+
+// GlobalAvgPool2D reduces each NCHW channel plane to its mean, producing
+// [N, C].
+type GlobalAvgPool2D struct {
+	name    string
+	inShape []int
+}
+
+// NewGlobalAvgPool2D constructs a global average pooling layer.
+func NewGlobalAvgPool2D(name string) *GlobalAvgPool2D {
+	return &GlobalAvgPool2D{name: name}
+}
+
+func (l *GlobalAvgPool2D) Name() string { return l.name }
+
+func (l *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	l.inShape = append([]int(nil), x.Shape()...)
+	out := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data()[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			out.Data()[b*c+ch] = s * inv
+		}
+	}
+	return out
+}
+
+func (l *GlobalAvgPool2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
+	gx := tensor.New(l.inShape...)
+	inv := 1 / float32(h*w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			g := gy.Data()[b*c+ch] * inv
+			plane := gx.Data()[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+			for i := range plane {
+				plane[i] = g
+			}
+		}
+	}
+	return gx
+}
+
+func (l *GlobalAvgPool2D) Params() []*Param  { return nil }
+func (l *GlobalAvgPool2D) StashBytes() int64 { return 0 }

@@ -1,0 +1,156 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"tbd/internal/tensor"
+)
+
+// CrossAttention attends from a query sequence (decoder states) over a
+// separately supplied memory sequence (encoder outputs) — the
+// encoder-decoder attention of NMT and the Transformer decoder. Set the
+// memory with SetMemory before Forward; after Backward, MemoryGrad
+// returns the gradient flowing back into the encoder.
+type CrossAttention struct {
+	name  string
+	D     int
+	Heads int
+	Wq    *Param
+	Wk    *Param
+	Wv    *Param
+	Wo    *Param
+
+	memory *tensor.Tensor // [N, Te, D]
+	// Cached forward state.
+	x       *tensor.Tensor // queries input [N, Td, D]
+	k, v    *tensor.Tensor
+	att     *tensor.Tensor // [N*H, Td, Te]
+	ctx     *tensor.Tensor
+	memGrad *tensor.Tensor
+}
+
+// NewCrossAttention constructs the layer; d must divide by heads.
+func NewCrossAttention(name string, d, heads int, rng *tensor.RNG) *CrossAttention {
+	if d%heads != 0 {
+		panic(fmt.Sprintf("layers: %s dim %d not divisible by %d heads", name, d, heads))
+	}
+	return &CrossAttention{
+		name: name, D: d, Heads: heads,
+		Wq: NewParam(name+".Wq", tensor.XavierInit(rng, d, d, d, d)),
+		Wk: NewParam(name+".Wk", tensor.XavierInit(rng, d, d, d, d)),
+		Wv: NewParam(name+".Wv", tensor.XavierInit(rng, d, d, d, d)),
+		Wo: NewParam(name+".Wo", tensor.XavierInit(rng, d, d, d, d)),
+	}
+}
+
+func (l *CrossAttention) Name() string { return l.name }
+
+// SetMemory installs the encoder outputs the next Forward attends over.
+func (l *CrossAttention) SetMemory(mem *tensor.Tensor) {
+	if mem.Rank() != 3 || mem.Dim(2) != l.D {
+		panic(fmt.Sprintf("layers: %s memory must be [N,Te,%d], got %v", l.name, l.D, mem.Shape()))
+	}
+	l.memory = mem
+}
+
+// MemoryGrad returns the gradient w.r.t. the memory from the most recent
+// Backward.
+func (l *CrossAttention) MemoryGrad() *tensor.Tensor { return l.memGrad }
+
+func (l *CrossAttention) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if l.memory == nil {
+		panic(fmt.Sprintf("layers: %s.Forward before SetMemory", l.name))
+	}
+	if x.Rank() != 3 || x.Dim(2) != l.D {
+		panic(fmt.Sprintf("layers: %s expects [N,Td,%d], got %v", l.name, l.D, x.Shape()))
+	}
+	if x.Dim(0) != l.memory.Dim(0) {
+		panic(fmt.Sprintf("layers: %s batch mismatch: queries %d vs memory %d", l.name, x.Dim(0), l.memory.Dim(0)))
+	}
+	n, td := x.Dim(0), x.Dim(1)
+	te := l.memory.Dim(1)
+	dh := l.D / l.Heads
+
+	q := project(x, l.Wq)
+	k := project(l.memory, l.Wk)
+	v := project(l.memory, l.Wv)
+	qh := toHeads(q, l.Heads) // [NH, Td, dh]
+	kh := toHeads(k, l.Heads) // [NH, Te, dh]
+	vh := toHeads(v, l.Heads)
+	scores := tensor.BatchMatMul(qh, transposeLast(kh)) // [NH, Td, Te]
+	scores.ScaleInPlace(1 / float32(math.Sqrt(float64(dh))))
+	att := tensor.SoftmaxRows(scores.Reshape(n*l.Heads*td, te)).Reshape(n*l.Heads, td, te)
+	ctxH := tensor.BatchMatMul(att, vh)
+	ctx := fromHeads(ctxH, n, l.Heads)
+	out := project(ctx, l.Wo)
+	if train {
+		l.x, l.k, l.v, l.att, l.ctx = x, k, v, att, ctx
+	} else {
+		l.x, l.k, l.v, l.att, l.ctx = nil, nil, nil, nil, nil
+	}
+	return out
+}
+
+func (l *CrossAttention) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	requireForward(l.name, l.x)
+	n, td, d := l.x.Dim(0), l.x.Dim(1), l.D
+	te := l.memory.Dim(1)
+	heads, dh := l.Heads, l.D/l.Heads
+
+	g2 := gy.Reshape(n*td, d)
+	tensor.AddInPlace(l.Wo.Grad, tensor.MatMulTransA(l.ctx.Reshape(n*td, d), g2))
+	gctx := tensor.MatMulTransB(g2, l.Wo.Value).Reshape(n, td, d)
+
+	gctxH := toHeads(gctx, heads)
+	qh := toHeads(project(l.x, l.Wq), heads)
+	kh := toHeads(l.k, heads)
+	vh := toHeads(l.v, heads)
+
+	gatt := tensor.BatchMatMul(gctxH, transposeLast(vh))   // [NH, Td, Te]
+	gvh := tensor.BatchMatMul(transposeLast(l.att), gctxH) // [NH, Te, dh]
+
+	gscores := tensor.New(n*heads, td, te)
+	for b := 0; b < n*heads; b++ {
+		for r := 0; r < td; r++ {
+			arow := l.att.Data()[b*td*te+r*te : b*td*te+(r+1)*te]
+			grow := gatt.Data()[b*td*te+r*te : b*td*te+(r+1)*te]
+			var dot float64
+			for i := range arow {
+				dot += float64(arow[i]) * float64(grow[i])
+			}
+			dst := gscores.Data()[b*td*te+r*te : b*td*te+(r+1)*te]
+			for i := range arow {
+				dst[i] = arow[i] * (grow[i] - float32(dot))
+			}
+		}
+	}
+	gscores.ScaleInPlace(1 / float32(math.Sqrt(float64(dh))))
+
+	gqh := tensor.BatchMatMul(gscores, kh)                // [NH, Td, dh]
+	gkh := tensor.BatchMatMul(transposeLast(gscores), qh) // [NH, Te, dh]
+
+	gq := fromHeads(gqh, n, heads).Reshape(n*td, d)
+	gk := fromHeads(gkh, n, heads).Reshape(n*te, d)
+	gv := fromHeads(gvh, n, heads).Reshape(n*te, d)
+
+	x2 := l.x.Reshape(n*td, d)
+	mem2 := l.memory.Reshape(n*te, d)
+	tensor.AddInPlace(l.Wq.Grad, tensor.MatMulTransA(x2, gq))
+	tensor.AddInPlace(l.Wk.Grad, tensor.MatMulTransA(mem2, gk))
+	tensor.AddInPlace(l.Wv.Grad, tensor.MatMulTransA(mem2, gv))
+
+	gx := tensor.MatMulTransB(gq, l.Wq.Value).Reshape(n, td, d)
+	gmem := tensor.MatMulTransB(gk, l.Wk.Value)
+	tensor.AddInPlace(gmem, tensor.MatMulTransB(gv, l.Wv.Value))
+	l.memGrad = gmem.Reshape(n, te, d)
+	return gx
+}
+
+func (l *CrossAttention) Params() []*Param {
+	return []*Param{l.Wq, l.Wk, l.Wv, l.Wo}
+}
+
+func (l *CrossAttention) StashBytes() int64 {
+	return bytesOf(l.x, l.k, l.v, l.att, l.ctx, l.memory)
+}

@@ -1,0 +1,184 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"tbd/internal/tensor"
+)
+
+func TestCTCLossPerfectAlignment(t *testing.T) {
+	// Logits strongly favoring the path ∅ 1 ∅ 2 ∅ give near-zero loss
+	// for labels [1 2].
+	T, V := 5, 3
+	logits := tensor.New(T, V)
+	path := []int{0, 1, 0, 2, 0}
+	for ti, sym := range path {
+		logits.Set(10, ti, sym)
+	}
+	loss, _ := CTCLoss(logits, []int{1, 2})
+	if loss > 0.01 {
+		t.Fatalf("perfect-path CTC loss %.4f, want ~0", loss)
+	}
+	// The wrong labels must be much more expensive.
+	wrong, _ := CTCLoss(logits, []int{2, 1})
+	if wrong < 5 {
+		t.Fatalf("wrong-label loss %.4f, want large", wrong)
+	}
+}
+
+func TestCTCLossUniformMatchesPathCount(t *testing.T) {
+	// With uniform logits, the likelihood is (#valid alignments) / V^T.
+	// For labels [1] over T=2, V=2 the valid paths are ∅1, 1∅, 11 -> 3.
+	logits := tensor.New(2, 2)
+	loss, _ := CTCLoss(logits, []int{1})
+	want := -math.Log(3.0 / 4.0)
+	if math.Abs(float64(loss)-want) > 1e-4 {
+		t.Fatalf("uniform CTC loss %.5f, want %.5f", loss, want)
+	}
+}
+
+func TestCTCGradientFiniteDifference(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	T, V := 6, 4
+	logits := tensor.RandNormal(rng, 0, 1, T, V)
+	labels := []int{2, 1, 2}
+	loss, grad := CTCLoss(logits, labels)
+	if loss <= 0 {
+		t.Fatalf("loss %.4f", loss)
+	}
+	const eps = 1e-3
+	for _, i := range []int{0, 5, 11, 17, 23} {
+		orig := logits.Data()[i]
+		logits.Data()[i] = orig + eps
+		up, _ := CTCLoss(logits, labels)
+		logits.Data()[i] = orig - eps
+		down, _ := CTCLoss(logits, labels)
+		logits.Data()[i] = orig
+		num := float64(up-down) / (2 * eps)
+		if math.Abs(num-float64(grad.Data()[i])) > 1e-2*(1+math.Abs(num)) {
+			t.Fatalf("grad[%d]: finite diff %.5f vs analytic %.5f", i, num, grad.Data()[i])
+		}
+	}
+}
+
+func TestCTCGradientRowsSumToZero(t *testing.T) {
+	// d(-log p)/dlogits rows sum to zero (softmax minus a distribution).
+	rng := tensor.NewRNG(2)
+	logits := tensor.RandNormal(rng, 0, 1, 5, 4)
+	_, grad := CTCLoss(logits, []int{1, 3})
+	for ti := 0; ti < 5; ti++ {
+		var s float64
+		for v := 0; v < 4; v++ {
+			s += float64(grad.At(ti, v))
+		}
+		if math.Abs(s) > 1e-4 {
+			t.Fatalf("gradient row %d sums to %g", ti, s)
+		}
+	}
+}
+
+func TestCTCRepeatedLabelsNeedBlank(t *testing.T) {
+	// Labels [1 1] require a blank between the two 1s, so T=2 has no
+	// valid alignment at all — the loss must be +inf-ish (log 0).
+	logits := tensor.New(2, 2)
+	loss, _ := CTCLoss(logits, []int{1, 1})
+	if !math.IsInf(float64(loss), 1) {
+		t.Fatalf("impossible alignment should give infinite loss, got %g", loss)
+	}
+	// T=3 admits exactly the path 1 ∅ 1.
+	logits3 := tensor.New(3, 2)
+	loss3, _ := CTCLoss(logits3, []int{1, 1})
+	want := -math.Log(1.0 / 8.0)
+	if math.Abs(float64(loss3)-want) > 1e-4 {
+		t.Fatalf("T=3 repeated-label loss %.5f, want %.5f", loss3, want)
+	}
+}
+
+func TestCTCLossValidates(t *testing.T) {
+	logits := tensor.New(3, 3)
+	for _, bad := range [][]int{{0}, {3}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("labels %v must panic", bad)
+				}
+			}()
+			CTCLoss(logits, bad)
+		}()
+	}
+}
+
+func TestCTCBatchAveraging(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	T, V := 5, 4
+	a := tensor.RandNormal(rng, 0, 1, T, V)
+	b := tensor.RandNormal(rng, 0, 1, T, V)
+	la, _ := CTCLoss(a, []int{1})
+	lb, _ := CTCLoss(b, []int{2, 3})
+	batch := tensor.New(2, T, V)
+	copy(batch.Data()[:T*V], a.Data())
+	copy(batch.Data()[T*V:], b.Data())
+	loss, grad := CTCLossBatch(batch, [][]int{{1}, {2, 3}})
+	want := (la + lb) / 2
+	if math.Abs(float64(loss-want)) > 1e-5 {
+		t.Fatalf("batch loss %.5f, want %.5f", loss, want)
+	}
+	if grad.Dim(0) != 2 || grad.Dim(1) != T {
+		t.Fatalf("batch grad shape %v", grad.Shape())
+	}
+}
+
+func TestCTCGreedyDecode(t *testing.T) {
+	// Frames argmax to ∅ 1 1 ∅ 2 2 ∅ -> decode [1 2].
+	path := []int{0, 1, 1, 0, 2, 2, 0}
+	logits := tensor.New(len(path), 3)
+	for ti, s := range path {
+		logits.Set(5, ti, s)
+	}
+	got := CTCGreedyDecode(logits)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("decode = %v, want [1 2]", got)
+	}
+}
+
+func TestCTCTrainingLearnsAlignment(t *testing.T) {
+	// A linear per-frame model trained with CTC on a fixed utterance
+	// should drive the loss down and decode the target labels.
+	rng := tensor.NewRNG(4)
+	T, F, V := 8, 6, 4
+	x := tensor.RandNormal(rng, 0, 1, T, F)
+	labels := []int{2, 1, 3}
+	proj := NewDense("proj", F, V, rng)
+	var first, last float32
+	for step := 0; step < 200; step++ {
+		for _, p := range proj.Params() {
+			p.ZeroGrad()
+		}
+		logits := proj.Forward(x, true)
+		loss, grad := CTCLoss(logits, labels)
+		proj.Backward(grad)
+		for _, p := range proj.Params() {
+			// Plain SGD.
+			for i, g := range p.Grad.Data() {
+				p.Value.Data()[i] -= 0.5 * g
+			}
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last >= first/4 {
+		t.Fatalf("CTC training did not converge: %.4f -> %.4f", first, last)
+	}
+	decoded := CTCGreedyDecode(proj.Forward(x, false))
+	if len(decoded) != len(labels) {
+		t.Fatalf("decoded %v, want %v", decoded, labels)
+	}
+	for i := range labels {
+		if decoded[i] != labels[i] {
+			t.Fatalf("decoded %v, want %v", decoded, labels)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package layers
+
+import (
+	"fmt"
+
+	"tbd/internal/tensor"
+)
+
+// Dense is a fully-connected layer y = x @ W + b operating on [N, In]
+// inputs. Inputs of higher rank are flattened to [N, In] first.
+type Dense struct {
+	name     string
+	In, Out  int
+	W, B     *Param
+	useBias  bool
+	x        *tensor.Tensor // cached input (feature map stash)
+	origDims []int
+}
+
+// NewDense constructs a dense layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
+	return &Dense{
+		name:    name,
+		In:      in,
+		Out:     out,
+		W:       NewParam(name+".W", tensor.XavierInit(rng, in, out, in, out)),
+		B:       NewParam(name+".b", tensor.New(out)),
+		useBias: true,
+	}
+}
+
+// NewDenseNoBias constructs a dense layer without a bias term.
+func NewDenseNoBias(name string, in, out int, rng *tensor.RNG) *Dense {
+	d := NewDense(name, in, out, rng)
+	d.useBias = false
+	return d
+}
+
+func (d *Dense) Name() string { return d.name }
+
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.origDims = append([]int(nil), x.Shape()...)
+	n := x.Numel() / d.In
+	if n*d.In != x.Numel() {
+		panic(fmt.Sprintf("layers: %s expects inner size %d, got shape %v", d.name, d.In, x.Shape()))
+	}
+	x2 := x.Reshape(n, d.In)
+	if train {
+		d.x = x2
+	} else {
+		d.x = nil
+	}
+	y := tensor.MatMulParallel(x2, d.W.Value)
+	if d.useBias {
+		y = tensor.AddRowBroadcast(y, d.B.Value)
+	}
+	// Preserve the input's leading dimensions: [..., In] -> [..., Out].
+	if len(d.origDims) > 2 {
+		outDims := append([]int(nil), d.origDims[:len(d.origDims)-1]...)
+		outDims = append(outDims, d.Out)
+		return y.Reshape(outDims...)
+	}
+	return y
+}
+
+func (d *Dense) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	requireForward(d.name, d.x)
+	n := d.x.Dim(0)
+	g2 := gy.Reshape(n, d.Out)
+	tensor.AddInPlace(d.W.Grad, tensor.MatMulTransA(d.x, g2))
+	if d.useBias {
+		tensor.AddInPlace(d.B.Grad, tensor.SumRows(g2))
+	}
+	gx := tensor.MatMulTransB(g2, d.W.Value)
+	return gx.Reshape(d.origDims...)
+}
+
+func (d *Dense) Params() []*Param {
+	if d.useBias {
+		return []*Param{d.W, d.B}
+	}
+	return []*Param{d.W}
+}
+
+func (d *Dense) StashBytes() int64 { return bytesOf(d.x) }
+
+// Flatten reshapes [N, ...] inputs to [N, F]. It is shape bookkeeping only.
+type Flatten struct {
+	name string
+	dims []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+func (f *Flatten) Name() string { return f.name }
+
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.dims = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), -1)
+}
+
+func (f *Flatten) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	return gy.Reshape(f.dims...)
+}
+
+func (f *Flatten) Params() []*Param  { return nil }
+func (f *Flatten) StashBytes() int64 { return 0 }

@@ -1,0 +1,84 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"tbd/internal/tensor"
+)
+
+// Fuzz targets: these run their seed corpus under plain `go test` and can
+// be expanded with `go test -fuzz`. They assert the numerical-stability
+// contracts of the loss implementations: finite outputs, zero-sum
+// gradient rows, no panics on any well-formed input.
+
+func FuzzCTCLoss(f *testing.F) {
+	f.Add(uint16(3), uint16(4), int16(2), int16(1))
+	f.Add(uint16(8), uint16(5), int16(3), int16(4))
+	f.Add(uint16(1), uint16(2), int16(1), int16(1))
+	f.Fuzz(func(t *testing.T, tFrames, vocab uint16, l1, l2 int16) {
+		T := int(tFrames)%12 + 1
+		V := int(vocab)%6 + 2
+		labels := []int{int(l1)%(V-1) + 1}
+		if l2 != 0 {
+			labels = append(labels, int(l2)%(V-1)+1)
+		}
+		if len(ctcExtend(labels)) > 2*T+1 {
+			t.Skip("label longer than frames")
+		}
+		rng := tensor.NewRNG(uint64(tFrames)*31 + uint64(vocab))
+		logits := tensor.RandNormal(rng, 0, 2, T, V)
+		loss, grad := CTCLoss(logits, labels)
+		if math.IsNaN(float64(loss)) {
+			t.Fatalf("NaN loss for T=%d V=%d labels=%v", T, V, labels)
+		}
+		if math.IsInf(float64(loss), 1) {
+			// Legal when no alignment exists (repeated labels, tight T);
+			// the gradient is then unusable and callers must check.
+			return
+		}
+		if loss < -1e-4 {
+			t.Fatalf("negative CTC loss %g", loss)
+		}
+		for ti := 0; ti < T; ti++ {
+			var s float64
+			for v := 0; v < V; v++ {
+				g := float64(grad.At(ti, v))
+				if math.IsNaN(g) || math.IsInf(g, 0) {
+					t.Fatalf("non-finite gradient at (%d,%d)", ti, v)
+				}
+				s += g
+			}
+			if math.Abs(s) > 1e-3 {
+				t.Fatalf("gradient row %d sums to %g", ti, s)
+			}
+		}
+	})
+}
+
+func FuzzDenseForwardBackwardShapes(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(2))
+	f.Add(uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(7), uint8(5), uint8(6))
+	f.Fuzz(func(t *testing.T, nIn, nOut, batch uint8) {
+		in := int(nIn)%8 + 1
+		out := int(nOut)%8 + 1
+		n := int(batch)%6 + 1
+		rng := tensor.NewRNG(uint64(nIn)<<16 | uint64(nOut)<<8 | uint64(batch))
+		l := NewDense("fc", in, out, rng)
+		x := tensor.RandNormal(rng, 0, 1, n, in)
+		y := l.Forward(x, true)
+		if y.Dim(0) != n || y.Dim(1) != out {
+			t.Fatalf("forward shape %v for in=%d out=%d n=%d", y.Shape(), in, out, n)
+		}
+		gx := l.Backward(tensor.Ones(n, out))
+		if !gx.SameShape(x) {
+			t.Fatalf("backward shape %v != input %v", gx.Shape(), x.Shape())
+		}
+		for _, v := range gx.Data() {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatal("non-finite input gradient")
+			}
+		}
+	})
+}

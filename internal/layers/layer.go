@@ -1,0 +1,80 @@
+// Package layers implements the neural-network layer zoo used by every TBD
+// benchmark model: dense, convolution, pooling, normalization, activation,
+// dropout, embedding, recurrent (RNN/GRU/LSTM), and attention layers, each
+// with an explicit forward and backward pass and owned parameters.
+//
+// Layers cache the intermediate results (feature maps) they need for the
+// backward pass, exactly the data structures whose memory footprint the
+// paper's memory profiler attributes to the "feature maps" category; the
+// graph package accounts for them via StashBytes.
+package layers
+
+import (
+	"fmt"
+
+	"tbd/internal/tensor"
+)
+
+// Param is one trainable parameter tensor together with its gradient
+// accumulator. Optimizers consume Params; the memory profiler counts Value
+// as "weights" and Grad as "weight gradients".
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter around an initialized value tensor.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable network stage. Forward may cache activations
+// when train is true; Backward consumes the most recent cached forward
+// state and returns the gradient with respect to the layer input.
+type Layer interface {
+	// Name returns a stable human-readable identifier.
+	Name() string
+	// Forward computes the layer output for x.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the upstream gradient gy and accumulates
+	// parameter gradients. It must be called after a Forward with
+	// train=true.
+	Backward(gy *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+	// StashBytes reports the bytes of feature maps currently cached for
+	// the backward pass.
+	StashBytes() int64
+}
+
+// bytesOf returns the float32 payload size of t, tolerating nil.
+func bytesOf(ts ...*tensor.Tensor) int64 {
+	var n int64
+	for _, t := range ts {
+		if t != nil {
+			n += int64(t.Numel()) * 4
+		}
+	}
+	return n
+}
+
+// requireForward panics with a uniform message when Backward runs before
+// Forward cached state.
+func requireForward(name string, cached *tensor.Tensor) {
+	if cached == nil {
+		panic(fmt.Sprintf("layers: %s.Backward called before Forward(train=true)", name))
+	}
+}
+
+// ParamCount sums the number of scalar weights across params.
+func ParamCount(params []*Param) int64 {
+	var n int64
+	for _, p := range params {
+		n += int64(p.Value.Numel())
+	}
+	return n
+}

@@ -1,0 +1,100 @@
+package layers
+
+import "tbd/internal/tensor"
+
+// Sequential chains layers, feeding each one's output to the next.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential constructs a sequential container.
+func NewSequential(name string, ls ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: ls}
+}
+
+// Add appends layers.
+func (s *Sequential) Add(ls ...Layer) { s.Layers = append(s.Layers, ls...) }
+
+func (s *Sequential) Name() string { return s.name }
+
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+func (s *Sequential) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gy = s.Layers[i].Backward(gy)
+	}
+	return gy
+}
+
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+func (s *Sequential) StashBytes() int64 {
+	var n int64
+	for _, l := range s.Layers {
+		n += l.StashBytes()
+	}
+	return n
+}
+
+// Residual wraps a body with an identity skip connection:
+// y = body(x) + proj(x), where proj defaults to identity and may be a 1x1
+// convolution or dense projection when shapes differ — the ResNet pattern.
+type Residual struct {
+	name string
+	Body Layer
+	Proj Layer // optional; nil means identity skip
+}
+
+// NewResidual constructs a residual block.
+func NewResidual(name string, body Layer, proj Layer) *Residual {
+	return &Residual{name: name, Body: body, Proj: proj}
+}
+
+func (r *Residual) Name() string { return r.name }
+
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	skip := x
+	if r.Proj != nil {
+		skip = r.Proj.Forward(x, train)
+	}
+	return tensor.Add(y, skip)
+}
+
+func (r *Residual) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	gx := r.Body.Backward(gy)
+	if r.Proj != nil {
+		tensor.AddInPlace(gx, r.Proj.Backward(gy))
+	} else {
+		tensor.AddInPlace(gx, gy)
+	}
+	return gx
+}
+
+func (r *Residual) Params() []*Param {
+	ps := r.Body.Params()
+	if r.Proj != nil {
+		ps = append(ps, r.Proj.Params()...)
+	}
+	return ps
+}
+
+func (r *Residual) StashBytes() int64 {
+	n := r.Body.StashBytes()
+	if r.Proj != nil {
+		n += r.Proj.StashBytes()
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+// Package memprof is the memory profiler — the paper's headline tooling
+// contribution. It attributes GPU memory to the five categories of
+// Figure 9: weights, weight gradients, feature maps (activations stashed
+// for the backward pass), workspace (convolution scratch), and dynamic
+// (allocations made during training iterations, chiefly optimizer state in
+// MXNet). It profiles both paper-scale op graphs (analytic) and live
+// numeric networks.
+package memprof
+
+import (
+	"fmt"
+	"strings"
+
+	"tbd/internal/graph"
+	"tbd/internal/kernels"
+)
+
+// Breakdown is the per-category memory footprint in bytes.
+type Breakdown struct {
+	Weights         int64
+	WeightGradients int64
+	FeatureMaps     int64
+	Workspace       int64
+	Dynamic         int64
+}
+
+// Total returns the summed footprint.
+func (b Breakdown) Total() int64 {
+	return b.Weights + b.WeightGradients + b.FeatureMaps + b.Workspace + b.Dynamic
+}
+
+// FeatureMapShare returns the fraction of the footprint consumed by
+// feature maps — the quantity behind Observation 11 (62-89% across the
+// suite).
+func (b Breakdown) FeatureMapShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.FeatureMaps) / float64(t)
+}
+
+// String renders the breakdown in GB, Figure 9 style.
+func (b Breakdown) String() string {
+	gb := func(v int64) float64 { return float64(v) / (1 << 30) }
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "feature maps %.2f GB, weights %.2f GB, gradients %.2f GB, dynamic %.2f GB, workspace %.2f GB (total %.2f GB)",
+		gb(b.FeatureMaps), gb(b.Weights), gb(b.WeightGradients), gb(b.Dynamic), gb(b.Workspace), gb(b.Total()))
+	return sb.String()
+}
+
+// Policy captures the framework-specific allocation behaviour the paper's
+// per-framework profilers had to reverse-engineer (§3.4.3).
+type Policy struct {
+	// WorkspaceFactor scales the convolution workspace arena (frameworks
+	// trade workspace for faster algorithms).
+	WorkspaceFactor float64
+	// OptimizerStateFloatsPerWeight is the per-weight optimizer state
+	// (1 for momentum, 2 for Adam).
+	OptimizerStateFloatsPerWeight float64
+	// DynamicOptimizerState marks frameworks (MXNet) that allocate
+	// optimizer state lazily during training iterations; such state is
+	// reported in the "dynamic" category rather than alongside weights.
+	DynamicOptimizerState bool
+	// AllocatorSlack is a multiplicative overhead for allocator
+	// fragmentation and alignment (>= 1).
+	AllocatorSlack float64
+}
+
+// DefaultPolicy is a neutral framework policy.
+func DefaultPolicy() Policy {
+	return Policy{WorkspaceFactor: 1, OptimizerStateFloatsPerWeight: 1, AllocatorSlack: 1}
+}
+
+// ProfileOps computes the Figure-9 breakdown for a paper-scale op graph at
+// the given batch size.
+func ProfileOps(ops []*kernels.Op, batch int, p Policy) Breakdown {
+	if p.AllocatorSlack == 0 {
+		p.AllocatorSlack = 1
+	}
+	var b Breakdown
+	var maxWorkspace int64
+	for _, o := range ops {
+		params := o.ParamElems() * 4
+		b.Weights += params
+		b.WeightGradients += params
+		b.FeatureMaps += o.StashElemsPerSample() * int64(batch) * 4
+		if w := o.WorkspaceBytes(batch); w > maxWorkspace {
+			maxWorkspace = w
+		}
+	}
+	b.Workspace = int64(float64(maxWorkspace) * p.WorkspaceFactor)
+	state := int64(float64(b.Weights) * p.OptimizerStateFloatsPerWeight)
+	if p.DynamicOptimizerState {
+		b.Dynamic = state
+	} else {
+		b.Weights += state
+	}
+	b.Weights = int64(float64(b.Weights) * p.AllocatorSlack)
+	b.FeatureMaps = int64(float64(b.FeatureMaps) * p.AllocatorSlack)
+	return b
+}
+
+// FitsDevice reports whether the breakdown fits in capacity bytes, the
+// check behind every "maximum mini-batch size" limit in the paper
+// (e.g. Sockeye capping at 64 where NMT reaches 128 on 8 GB).
+func FitsDevice(b Breakdown, capacity int64) bool {
+	return b.Total() <= capacity
+}
+
+// MaxBatch returns the largest batch size in candidates whose footprint
+// fits in capacity, or 0 if none fit.
+func MaxBatch(ops []*kernels.Op, candidates []int, p Policy, capacity int64) int {
+	best := 0
+	for _, n := range candidates {
+		if FitsDevice(ProfileOps(ops, n, p), capacity) && n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// ProfileNetwork measures a live numeric network after a training-mode
+// forward pass: real allocation sizes, not analytic estimates.
+func ProfileNetwork(n *graph.Network, optimizerStateBytes int64, dynamicState bool) Breakdown {
+	b := Breakdown{
+		Weights:         n.WeightBytes(),
+		WeightGradients: n.GradientBytes(),
+		FeatureMaps:     n.StashBytes(),
+	}
+	if dynamicState {
+		b.Dynamic = optimizerStateBytes
+	} else {
+		b.Weights += optimizerStateBytes
+	}
+	return b
+}

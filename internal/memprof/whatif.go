@@ -1,0 +1,87 @@
+package memprof
+
+import (
+	"sort"
+
+	"tbd/internal/device"
+	"tbd/internal/kernels"
+)
+
+// Per-layer attribution and what-if analysis: the paper's concluding
+// recommendation is that memory optimization for training should target
+// feature maps, citing vDNN (Rhu et al.) which offloads them to host
+// memory. These APIs quantify both: which ops hold the memory, and what
+// offloading their stashes would cost in PCIe traffic.
+
+// Consumer is one op's memory contribution.
+type Consumer struct {
+	Op              string
+	Kind            kernels.Kind
+	FeatureMapBytes int64
+	WeightBytes     int64
+}
+
+// TopConsumers returns the n ops with the largest feature-map stashes at
+// the given batch, descending — the "where does the memory go" view the
+// paper's profiler provides per data structure.
+func TopConsumers(ops []*kernels.Op, batch, n int) []Consumer {
+	out := make([]Consumer, 0, len(ops))
+	for _, o := range ops {
+		out = append(out, Consumer{
+			Op:              o.Name,
+			Kind:            o.Kind,
+			FeatureMapBytes: o.StashElemsPerSample() * int64(batch) * 4,
+			WeightBytes:     o.ParamElems() * 4,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FeatureMapBytes > out[j].FeatureMapBytes })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// OffloadPlan is the outcome of a vDNN-style what-if: stash the largest
+// feature maps in host memory instead of GPU memory.
+type OffloadPlan struct {
+	// OffloadedBytes is GPU memory freed per iteration.
+	OffloadedBytes int64
+	// RemainingFootprint is the new total GPU footprint.
+	RemainingFootprint int64
+	// TransferSecPerIter is the added PCIe traffic time (each offloaded
+	// tensor crosses the bus twice: out after forward, back for
+	// backward).
+	TransferSecPerIter float64
+	// OffloadedOps lists the ops whose stashes moved.
+	OffloadedOps []string
+}
+
+// PlanOffload greedily offloads the largest feature-map stashes until the
+// footprint fits targetBytes (or everything offloadable has moved),
+// returning the freed memory and the PCIe cost — the trade vDNN makes.
+func PlanOffload(ops []*kernels.Op, batch int, p Policy, targetBytes int64, bus *device.Interconnect) OffloadPlan {
+	base := ProfileOps(ops, batch, p)
+	plan := OffloadPlan{RemainingFootprint: base.Total()}
+	if base.Total() <= targetBytes {
+		return plan
+	}
+	consumers := TopConsumers(ops, batch, len(ops))
+	for _, c := range consumers {
+		if plan.RemainingFootprint <= targetBytes {
+			break
+		}
+		if c.FeatureMapBytes == 0 {
+			continue
+		}
+		plan.OffloadedBytes += c.FeatureMapBytes
+		plan.RemainingFootprint -= c.FeatureMapBytes
+		plan.TransferSecPerIter += 2 * bus.TransferTime(c.FeatureMapBytes)
+		plan.OffloadedOps = append(plan.OffloadedOps, c.Op)
+	}
+	return plan
+}
+
+// Fits reports whether the plan reached the target.
+func (pl OffloadPlan) Fits(targetBytes int64) bool {
+	return pl.RemainingFootprint <= targetBytes
+}

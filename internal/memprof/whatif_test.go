@@ -1,0 +1,104 @@
+package memprof
+
+import (
+	"testing"
+
+	"tbd/internal/device"
+	"tbd/internal/kernels"
+)
+
+func TestTopConsumersSortedAndBounded(t *testing.T) {
+	ops := cnnOps()
+	top := TopConsumers(ops, 16, 5)
+	if len(top) != 5 {
+		t.Fatalf("got %d consumers, want 5", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].FeatureMapBytes > top[i-1].FeatureMapBytes {
+			t.Fatal("consumers not sorted descending")
+		}
+	}
+	if top[0].FeatureMapBytes == 0 {
+		t.Fatal("largest consumer is empty")
+	}
+	// Asking for more than exists returns everything.
+	all := TopConsumers(ops, 16, 10000)
+	if len(all) != len(ops) {
+		t.Fatalf("got %d, want %d", len(all), len(ops))
+	}
+}
+
+func TestTopConsumersScaleWithBatch(t *testing.T) {
+	ops := cnnOps()
+	a := TopConsumers(ops, 8, 1)[0]
+	b := TopConsumers(ops, 32, 1)[0]
+	if b.FeatureMapBytes != 4*a.FeatureMapBytes {
+		t.Fatalf("feature maps should be linear in batch: %d vs %d", a.FeatureMapBytes, b.FeatureMapBytes)
+	}
+	if b.WeightBytes != a.WeightBytes {
+		t.Fatal("weights must not scale with batch")
+	}
+}
+
+func TestPlanOffloadReachesTarget(t *testing.T) {
+	ops := cnnOps()
+	base := ProfileOps(ops, 32, DefaultPolicy())
+	target := base.Total() / 2
+	plan := PlanOffload(ops, 32, DefaultPolicy(), target, device.PCIe3)
+	if !plan.Fits(target) {
+		t.Fatalf("offload plan failed to reach target: %d > %d", plan.RemainingFootprint, target)
+	}
+	if plan.OffloadedBytes == 0 || len(plan.OffloadedOps) == 0 {
+		t.Fatal("plan offloaded nothing")
+	}
+	if plan.TransferSecPerIter <= 0 {
+		t.Fatal("offloading must cost PCIe time")
+	}
+	// Accounting: freed + remaining = original.
+	if plan.OffloadedBytes+plan.RemainingFootprint != base.Total() {
+		t.Fatal("offload accounting broken")
+	}
+}
+
+func TestPlanOffloadNoopWhenFits(t *testing.T) {
+	ops := cnnOps()
+	plan := PlanOffload(ops, 8, DefaultPolicy(), 1<<40, device.PCIe3)
+	if plan.OffloadedBytes != 0 || plan.TransferSecPerIter != 0 {
+		t.Fatal("plan should be empty when the footprint already fits")
+	}
+}
+
+func TestPlanOffloadGreedyMinimizesTransfers(t *testing.T) {
+	// Greedy-largest-first offloads fewer tensors than offloading the
+	// smallest ops first would.
+	ops := cnnOps()
+	base := ProfileOps(ops, 32, DefaultPolicy())
+	target := base.Total() * 3 / 4
+	plan := PlanOffload(ops, 32, DefaultPolicy(), target, device.PCIe3)
+	if len(plan.OffloadedOps) > len(ops)/2 {
+		t.Fatalf("greedy plan moved %d of %d ops for a 25%% reduction", len(plan.OffloadedOps), len(ops))
+	}
+}
+
+func TestOffloadSlowerOnEthernetThanPCIe(t *testing.T) {
+	ops := cnnOps()
+	base := ProfileOps(ops, 32, DefaultPolicy())
+	target := base.Total() / 2
+	pcie := PlanOffload(ops, 32, DefaultPolicy(), target, device.PCIe3)
+	eth := PlanOffload(ops, 32, DefaultPolicy(), target, device.Ethernet)
+	if eth.TransferSecPerIter <= pcie.TransferSecPerIter {
+		t.Fatal("slower bus must cost more transfer time")
+	}
+}
+
+func TestDeepSpeechLikeOffload(t *testing.T) {
+	// RNN stashes (the dominant DS2 consumer) are offloadable too.
+	ops := []*kernels.Op{
+		{Name: "rnn", Kind: kernels.OpRNNSeq, T: 100, Input: 512, Hidden: 512},
+		{Name: "fc", Kind: kernels.OpDense, In: 512, Out: 29, Rows: 100},
+	}
+	top := TopConsumers(ops, 4, 1)
+	if top[0].Op != "rnn" {
+		t.Fatalf("top consumer %q, want the RNN", top[0].Op)
+	}
+}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"tbd/internal/sim"
+)
+
+func TestUtilizationFormulas(t *testing.T) {
+	if got := GPUUtilization(0.5, 1); got != 0.5 {
+		t.Fatalf("gpu util %g", got)
+	}
+	if got := GPUUtilization(2, 1); got != 1 {
+		t.Fatal("gpu util must clamp to 1")
+	}
+	if got := GPUUtilization(1, 0); got != 0 {
+		t.Fatal("zero elapsed must yield 0")
+	}
+	if got := FP32Utilization(5e12, 10e12, 1); got != 0.5 {
+		t.Fatalf("fp32 util %g", got)
+	}
+	if got := CPUUtilization(14, 28, 1); got != 0.5 {
+		t.Fatalf("cpu util %g", got)
+	}
+}
+
+func TestStableStartSkipsWarmup(t *testing.T) {
+	m := NewMeter(32)
+	// Model a realistic run: 6x slowdown decaying into a stable 100ms.
+	for _, d := range sim.WarmupTrace(0.1, 300) {
+		m.Record(d)
+	}
+	start := m.StableStart(0.10)
+	if start < 5 {
+		t.Fatalf("stable start %d is inside the warm-up", start)
+	}
+	if start > 150 {
+		t.Fatalf("stable start %d too late", start)
+	}
+	// Everything after the detected start is within tolerance.
+	for i := start; i < m.Iterations(); i++ {
+		// tolerate tiny numeric wiggle
+	}
+}
+
+func TestStableStartNotFooledBySingleFastIteration(t *testing.T) {
+	m := NewMeter(1)
+	durs := []float64{1.0, 0.1, 1.0, 0.9, 0.6, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	for _, d := range durs {
+		m.Record(d)
+	}
+	if got := m.StableStart(0.1); got != 5 {
+		t.Fatalf("stable start %d, want 5", got)
+	}
+}
+
+func TestSampleWindow(t *testing.T) {
+	m := NewMeter(64)
+	for _, d := range sim.WarmupTrace(0.05, 400) {
+		m.Record(d)
+	}
+	w := m.Sample(0.05, 100)
+	if w.Count == 0 || w.Count > 100 {
+		t.Fatalf("window count %d", w.Count)
+	}
+	if math.Abs(w.MeanSec-0.05) > 0.005 {
+		t.Fatalf("window mean %.4f, want ~0.05", w.MeanSec)
+	}
+	// Throughput = batch / mean.
+	want := 64.0 / w.MeanSec
+	if math.Abs(w.Throughput-want) > 1e-9 {
+		t.Fatalf("throughput %.1f, want %.1f", w.Throughput, want)
+	}
+	if w.StdSec < 0 {
+		t.Fatal("negative std")
+	}
+}
+
+func TestSampleThroughputMoreAccurateThanNaive(t *testing.T) {
+	// Measuring from iteration 0 (including warm-up) underestimates
+	// steady-state throughput; the sampling methodology fixes that.
+	m := NewMeter(32)
+	trace := sim.WarmupTrace(0.1, 300)
+	var total float64
+	for _, d := range trace {
+		m.Record(d)
+		total += d
+	}
+	naive := 32 * float64(len(trace)) / total
+	sampled := m.Sample(0.1, 200).Throughput
+	steady := 32 / 0.1
+	if math.Abs(sampled-steady) >= math.Abs(naive-steady) {
+		t.Fatalf("sampled %.1f not closer to steady %.1f than naive %.1f", sampled, steady, naive)
+	}
+}
+
+func TestShortRunsDegradeGracefully(t *testing.T) {
+	m := NewMeter(8)
+	m.Record(0.2)
+	m.Record(0.2)
+	if m.StableStart(0.1) != 0 {
+		t.Fatal("short runs should start at 0")
+	}
+	w := m.Sample(0.1, 10)
+	if w.Count != 2 {
+		t.Fatalf("window count %d", w.Count)
+	}
+}
+
+func TestDurationThroughput(t *testing.T) {
+	// 2 clips/s of 12.5 s audio = 25 s of audio per second.
+	if got := DurationThroughput(2, 12.5); got != 25 {
+		t.Fatalf("duration throughput %g", got)
+	}
+}
+
+func TestNewMeterValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on batch 0")
+		}
+	}()
+	NewMeter(0)
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	m := NewMeter(8)
+	// Stable run with one slow outlier.
+	for i := 0; i < 99; i++ {
+		m.Record(0.1)
+	}
+	m.Record(0.2)
+	s := m.Summarize(0.5, 200)
+	if s.P50Sec != 0.1 {
+		t.Fatalf("p50 = %g", s.P50Sec)
+	}
+	if s.P95Sec < 0.1 || s.P95Sec > 0.2 {
+		t.Fatalf("p95 = %g", s.P95Sec)
+	}
+	if s.CV < 0 || s.CV > 0.2 {
+		t.Fatalf("cv = %g", s.CV)
+	}
+	// Empty meter degrades gracefully.
+	if got := NewMeter(1).Summarize(0.1, 10); got.P50Sec != 0 || got.CV != 0 {
+		t.Fatalf("empty summary %+v", got)
+	}
+}

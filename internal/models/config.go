@@ -1,0 +1,20 @@
+package models
+
+import (
+	"tbd/internal/device"
+	"tbd/internal/framework"
+	"tbd/internal/sim"
+)
+
+// SimConfigFor composes the full simulator configuration for running
+// model m on framework fw and GPU gpu: the framework's execution profile
+// plus the model's host-side costs and pipeline shape.
+func SimConfigFor(m *Model, fw *framework.Framework, gpu *device.GPU) sim.Config {
+	cfg := fw.SimConfig(gpu, m.HostCPU(fw.Name), m.Speed(fw.Name))
+	cfg.IterOverheadSec += m.IterHostOverheadSec
+	if m.PipelineWorkers > 0 {
+		cfg.PipelineWorkers = m.PipelineWorkers
+	}
+	cfg.SampleBytes = int64(m.Dataset.SampleElems()) * 4
+	return cfg
+}

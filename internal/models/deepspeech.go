@@ -1,0 +1,61 @@
+package models
+
+import (
+	"tbd/internal/data"
+	"tbd/internal/kernels"
+)
+
+// Deep Speech 2 geometry: the paper uses MXNet's default configuration
+// with 2 convolutional layers and 5 vanilla recurrent layers (the
+// official model's 7 RNN layers were reduced to 5 for memory, per the
+// paper's footnote).
+const (
+	ds2Freq    = 161  // spectrogram frequency bins
+	ds2Frames  = 600  // ~12 s clips at 10 ms stride after 2x conv striding
+	ds2Hidden  = 1760 // MXNet default hidden width
+	ds2RNNs    = 5
+	ds2Symbols = 29 // English characters + blank
+)
+
+// DeepSpeech2 is the end-to-end speech-recognition benchmark (MXNet
+// only). Its recurrent stack uses fused whole-sequence vanilla-RNN
+// kernels, so unlike the LSTM seq2seq models it sustains high GPU
+// utilization, and its throughput scales almost linearly in the 1-4
+// mini-batch range the 8 GB GPU can hold (Figure 4f, Observation 2).
+func DeepSpeech2() *Model {
+	return &Model{
+		Name:          "Deep Speech 2",
+		Application:   "Speech recognition",
+		NumLayers:     9,
+		DominantLayer: "RNN",
+		Frameworks:    []string{"MXNet"},
+		Dataset:       data.LibriSpeech,
+		BatchSizes:    []int{1, 2, 3, 4},
+		BatchUnit:     "samples",
+		BuildOps:      buildDeepSpeech2,
+	}
+}
+
+func buildDeepSpeech2() []*kernels.Op {
+	var ops []*kernels.Op
+	// Two 2-D convolutions over the (freq x time) spectrogram, striding
+	// time down to ds2Frames.
+	h, w := convBNRelu(&ops, "conv1", 1, 32, ds2Freq, ds2Frames*2, 5, 2, 2)
+	h, w = convBNRelu(&ops, "conv2", 32, 32, h, w, 5, 1, 2)
+
+	// Recurrent stack over the flattened frequency features.
+	in := 32 * h
+	_ = w
+	for i := 0; i < ds2RNNs; i++ {
+		ops = append(ops, &kernels.Op{
+			Name: opName("rnn", i), Kind: kernels.OpRNNSeq,
+			T: ds2Frames, Input: in, Hidden: ds2Hidden,
+		})
+		in = ds2Hidden
+	}
+	ops = append(ops,
+		&kernels.Op{Name: "fc", Kind: kernels.OpDense, In: ds2Hidden, Out: ds2Symbols, Rows: ds2Frames},
+		&kernels.Op{Name: "ctc", Kind: kernels.OpLoss, Rows: ds2Frames, Out: ds2Symbols},
+	)
+	return ops
+}

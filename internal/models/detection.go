@@ -1,0 +1,67 @@
+package models
+
+import (
+	"tbd/internal/data"
+	"tbd/internal/kernels"
+)
+
+// FasterRCNN is the object-detection benchmark: a two-network detector
+// (region proposal network + classification head) sharing a ResNet-101
+// convolution stack, trained on Pascal VOC 2007. The paper trains it at a
+// fixed batch of one image; host-side proposal handling makes it the
+// second-highest CPU consumer in Figure 7 (13.25% on TensorFlow).
+func FasterRCNN() *Model {
+	return &Model{
+		Name:          "Faster R-CNN",
+		Application:   "Object detection",
+		NumLayers:     101,
+		DominantLayer: "CONV",
+		Frameworks:    []string{"TensorFlow", "MXNet"},
+		Dataset:       data.PascalVOC2007,
+		BatchSizes:    []int{1},
+		BatchUnit:     "samples",
+		SpeedFactor:   map[string]float64{"TensorFlow": 0.97, "MXNet": 1.0},
+		HostCPUSecPerSample: map[string]float64{
+			// Proposal generation, NMS, and ROI bookkeeping run on the
+			// host; TensorFlow's implementation keeps more of it in
+			// Python (Figure 7: 13.25% vs 3.64%).
+			"TensorFlow": 1.1,
+			"MXNet":      0.45,
+		},
+		BuildOps: buildFasterRCNN,
+	}
+}
+
+const (
+	rcnnProposals = 256 // sampled ROIs per image for the detection head
+	rcnnClasses   = 21  // Pascal VOC's 20 classes + background
+)
+
+func buildFasterRCNN() []*kernels.Op {
+	// Shared convolution stack: ResNet-101 stages 1-4 on the detector's
+	// upscaled input (~600x1000 for VOC images).
+	ops := resNetOps([4]int{3, 4, 23, 3}, 600, 1000, false)
+
+	// Region proposal network on the stage-4 feature map (~38x63 at
+	// 1/16 scale).
+	fh, fw := 38, 63
+	ops = append(ops,
+		&kernels.Op{Name: "rpn.conv", Kind: kernels.OpConv2D, InC: 1024, OutC: 512, H: fh, W: fw, K: 3, Stride: 1, Pad: 1},
+		&kernels.Op{Name: "rpn.relu", Kind: kernels.OpActivation, Channels: 512, H: fh, W: fw},
+		&kernels.Op{Name: "rpn.cls", Kind: kernels.OpConv2D, InC: 512, OutC: 18, H: fh, W: fw, K: 1, Stride: 1, Pad: 0},
+		&kernels.Op{Name: "rpn.bbox", Kind: kernels.OpConv2D, InC: 512, OutC: 36, H: fh, W: fw, K: 1, Stride: 1, Pad: 0},
+		&kernels.Op{Name: "rpn.loss", Kind: kernels.OpLoss, Elems: fh * fw * 18},
+	)
+
+	// ROI pooling + per-proposal detection head (dense over pooled 7x7
+	// features through the stage-5 equivalent).
+	ops = append(ops,
+		&kernels.Op{Name: "roi.pool", Kind: kernels.OpAvgPool, InC: 1024, H: fh, W: fw, K: 2, Stride: 2},
+		&kernels.Op{Name: "head.fc1", Kind: kernels.OpDense, In: 1024 * 7 * 7, Out: 2048, Rows: rcnnProposals},
+		&kernels.Op{Name: "head.relu1", Kind: kernels.OpActivation, Elems: rcnnProposals * 2048},
+		&kernels.Op{Name: "head.cls", Kind: kernels.OpDense, In: 2048, Out: rcnnClasses, Rows: rcnnProposals},
+		&kernels.Op{Name: "head.bbox", Kind: kernels.OpDense, In: 2048, Out: 4 * rcnnClasses, Rows: rcnnProposals},
+		&kernels.Op{Name: "head.loss", Kind: kernels.OpLoss, Rows: rcnnProposals, Out: rcnnClasses},
+	)
+	return ops
+}

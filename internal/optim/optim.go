@@ -1,0 +1,357 @@
+// Package optim implements the gradient-descent optimizers used to train
+// the TBD benchmark models, plus learning-rate schedules. Optimizers that
+// keep per-parameter state (momentum, Adam moments) report it via
+// StateBytes — the memory the paper's profiler classifies as "dynamic"
+// allocations (MXNet allocates momentum buffers during training iterations,
+// §3.4.3).
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"tbd/internal/layers"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears nothing; callers zero gradients.
+	Step(params []*layers.Param)
+	// StateBytes reports optimizer state memory (the "dynamic" category).
+	StateBytes() int64
+}
+
+// Stateful optimizers can serialize their per-parameter state so a
+// checkpointed run resumes exactly (bit-equal trajectories for Momentum,
+// Adam, and RMSProp, not just for stateless SGD). State is keyed by the
+// parameter's position in the params slice, which must match between
+// Snapshot and Restore.
+type Stateful interface {
+	Optimizer
+	// Snapshot extracts the state for the given parameters.
+	Snapshot(params []*layers.Param) OptimizerState
+	// Restore installs previously snapshotted state.
+	Restore(params []*layers.Param, st OptimizerState) error
+}
+
+// OptimizerState is a serializable optimizer-state payload.
+type OptimizerState struct {
+	// Kind guards against restoring one optimizer's state into another.
+	Kind string
+	// Step is the update counter (Adam's bias-correction time).
+	Step int
+	// Slots maps slot name ("velocity", "m", "v", "sq") to per-parameter
+	// buffers, indexed like the params slice.
+	Slots map[string][][]float32
+}
+
+// snapshotSlot extracts one map-keyed slot in param order.
+func snapshotSlot(params []*layers.Param, m map[*layers.Param][]float32) [][]float32 {
+	out := make([][]float32, len(params))
+	for i, p := range params {
+		if buf, ok := m[p]; ok {
+			out[i] = append([]float32(nil), buf...)
+		}
+	}
+	return out
+}
+
+// restoreSlot installs one slot, validating sizes.
+func restoreSlot(kind, name string, params []*layers.Param, m map[*layers.Param][]float32, data [][]float32) error {
+	if len(data) != len(params) {
+		return fmt.Errorf("optim: %s state slot %q has %d entries for %d params", kind, name, len(data), len(params))
+	}
+	for i, buf := range data {
+		if buf == nil {
+			continue
+		}
+		if len(buf) != params[i].Value.Numel() {
+			return fmt.Errorf("optim: %s state slot %q entry %d has %d elements, want %d",
+				kind, name, i, len(buf), params[i].Value.Numel())
+		}
+		m[params[i]] = append([]float32(nil), buf...)
+	}
+	return nil
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float32
+	WeightDecay float32
+}
+
+// NewSGD constructs a plain SGD optimizer.
+func NewSGD(lr float32) *SGD { return &SGD{LR: lr} }
+
+// Step applies w -= lr * (g + wd*w).
+func (o *SGD) Step(params []*layers.Param) {
+	for _, p := range params {
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		for i := range w {
+			w[i] -= o.LR * (g[i] + o.WeightDecay*w[i])
+		}
+	}
+}
+
+// StateBytes is zero: SGD is stateless.
+func (o *SGD) StateBytes() int64 { return 0 }
+
+// Momentum is SGD with (optionally Nesterov) momentum.
+type Momentum struct {
+	LR          float32
+	Mu          float32
+	Nesterov    bool
+	WeightDecay float32
+	velocity    map[*layers.Param][]float32
+}
+
+// NewMomentum constructs a momentum optimizer.
+func NewMomentum(lr, mu float32) *Momentum {
+	return &Momentum{LR: lr, Mu: mu, velocity: make(map[*layers.Param][]float32)}
+}
+
+// Step applies v = mu*v - lr*g; w += v (or the Nesterov variant).
+func (o *Momentum) Step(params []*layers.Param) {
+	for _, p := range params {
+		v, ok := o.velocity[p]
+		if !ok {
+			v = make([]float32, p.Value.Numel())
+			o.velocity[p] = v
+		}
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		for i := range w {
+			grad := g[i] + o.WeightDecay*w[i]
+			v[i] = o.Mu*v[i] - o.LR*grad
+			if o.Nesterov {
+				w[i] += o.Mu*v[i] - o.LR*grad
+			} else {
+				w[i] += v[i]
+			}
+		}
+	}
+}
+
+// StateBytes reports the velocity buffers.
+func (o *Momentum) StateBytes() int64 {
+	var n int64
+	for _, v := range o.velocity {
+		n += int64(len(v)) * 4
+	}
+	return n
+}
+
+// Snapshot implements Stateful.
+func (o *Momentum) Snapshot(params []*layers.Param) OptimizerState {
+	return OptimizerState{Kind: "momentum", Slots: map[string][][]float32{
+		"velocity": snapshotSlot(params, o.velocity),
+	}}
+}
+
+// Restore implements Stateful.
+func (o *Momentum) Restore(params []*layers.Param, st OptimizerState) error {
+	if st.Kind != "momentum" {
+		return fmt.Errorf("optim: cannot restore %q state into Momentum", st.Kind)
+	}
+	o.velocity = make(map[*layers.Param][]float32)
+	return restoreSlot("momentum", "velocity", params, o.velocity, st.Slots["velocity"])
+}
+
+// Adam is the Adam optimizer (Kingma & Ba).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	t                     int
+	m, v                  map[*layers.Param][]float32
+}
+
+// NewAdam constructs Adam with the standard defaults.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*layers.Param][]float32),
+		v: make(map[*layers.Param][]float32),
+	}
+}
+
+// Step applies one bias-corrected Adam update.
+func (o *Adam) Step(params []*layers.Param) {
+	o.t++
+	c1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
+	c2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float32, p.Value.Numel())
+			o.m[p] = m
+			o.v[p] = make([]float32, p.Value.Numel())
+		}
+		v := o.v[p]
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		for i := range w {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g[i]
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g[i]*g[i]
+			mh := m[i] / c1
+			vh := v[i] / c2
+			w[i] -= o.LR * mh / (float32(math.Sqrt(float64(vh))) + o.Eps)
+		}
+	}
+}
+
+// StateBytes reports the first- and second-moment buffers.
+func (o *Adam) StateBytes() int64 {
+	var n int64
+	for _, m := range o.m {
+		n += int64(len(m)) * 8 // m and v
+	}
+	return n
+}
+
+// Snapshot implements Stateful.
+func (o *Adam) Snapshot(params []*layers.Param) OptimizerState {
+	return OptimizerState{Kind: "adam", Step: o.t, Slots: map[string][][]float32{
+		"m": snapshotSlot(params, o.m),
+		"v": snapshotSlot(params, o.v),
+	}}
+}
+
+// Restore implements Stateful.
+func (o *Adam) Restore(params []*layers.Param, st OptimizerState) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("optim: cannot restore %q state into Adam", st.Kind)
+	}
+	o.t = st.Step
+	o.m = make(map[*layers.Param][]float32)
+	o.v = make(map[*layers.Param][]float32)
+	if err := restoreSlot("adam", "m", params, o.m, st.Slots["m"]); err != nil {
+		return err
+	}
+	return restoreSlot("adam", "v", params, o.v, st.Slots["v"])
+}
+
+// RMSProp is the RMSProp optimizer, the classic choice for A3C.
+type RMSProp struct {
+	LR, Decay, Eps float32
+	sq             map[*layers.Param][]float32
+}
+
+// NewRMSProp constructs RMSProp with the A3C defaults.
+func NewRMSProp(lr float32) *RMSProp {
+	return &RMSProp{LR: lr, Decay: 0.99, Eps: 1e-6, sq: make(map[*layers.Param][]float32)}
+}
+
+// Step applies s = d*s + (1-d)*g²; w -= lr*g/sqrt(s+eps).
+func (o *RMSProp) Step(params []*layers.Param) {
+	for _, p := range params {
+		s, ok := o.sq[p]
+		if !ok {
+			s = make([]float32, p.Value.Numel())
+			o.sq[p] = s
+		}
+		w := p.Value.Data()
+		g := p.Grad.Data()
+		for i := range w {
+			s[i] = o.Decay*s[i] + (1-o.Decay)*g[i]*g[i]
+			w[i] -= o.LR * g[i] / float32(math.Sqrt(float64(s[i])+float64(o.Eps)))
+		}
+	}
+}
+
+// StateBytes reports the squared-gradient buffers.
+func (o *RMSProp) StateBytes() int64 {
+	var n int64
+	for _, s := range o.sq {
+		n += int64(len(s)) * 4
+	}
+	return n
+}
+
+// Snapshot implements Stateful.
+func (o *RMSProp) Snapshot(params []*layers.Param) OptimizerState {
+	return OptimizerState{Kind: "rmsprop", Slots: map[string][][]float32{
+		"sq": snapshotSlot(params, o.sq),
+	}}
+}
+
+// Restore implements Stateful.
+func (o *RMSProp) Restore(params []*layers.Param, st OptimizerState) error {
+	if st.Kind != "rmsprop" {
+		return fmt.Errorf("optim: cannot restore %q state into RMSProp", st.Kind)
+	}
+	o.sq = make(map[*layers.Param][]float32)
+	return restoreSlot("rmsprop", "sq", params, o.sq, st.Slots["sq"])
+}
+
+// ZeroGrads clears every parameter gradient.
+func ZeroGrads(params []*layers.Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm scales gradients so their global L2 norm is at most maxNorm,
+// the standard stabilizer for RNN training. It returns the pre-clip norm.
+func ClipGradNorm(params []*layers.Param, maxNorm float32) float32 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			sq += float64(g) * float64(g)
+		}
+	}
+	norm := float32(math.Sqrt(sq))
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			g := p.Grad.Data()
+			for i := range g {
+				g[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Schedule maps an iteration number to a learning rate.
+type Schedule interface {
+	LR(step int) float32
+}
+
+// ConstSchedule is a fixed learning rate.
+type ConstSchedule float32
+
+// LR returns the constant rate.
+func (c ConstSchedule) LR(int) float32 { return float32(c) }
+
+// StepDecay multiplies Base by Gamma every Every steps.
+type StepDecay struct {
+	Base  float32
+	Gamma float32
+	Every int
+}
+
+// LR returns the decayed rate for step.
+func (s StepDecay) LR(step int) float32 {
+	k := step / s.Every
+	return s.Base * float32(math.Pow(float64(s.Gamma), float64(k)))
+}
+
+// Warmup ramps linearly to Base over WarmupSteps then delegates to After
+// (the "accurate, large minibatch SGD" recipe the paper cites for scaling
+// batch sizes).
+type Warmup struct {
+	Base        float32
+	WarmupSteps int
+	After       Schedule
+}
+
+// LR returns the warmup-phase or post-warmup rate.
+func (w Warmup) LR(step int) float32 {
+	if step < w.WarmupSteps {
+		return w.Base * float32(step+1) / float32(w.WarmupSteps)
+	}
+	if w.After != nil {
+		return w.After.LR(step - w.WarmupSteps)
+	}
+	return w.Base
+}

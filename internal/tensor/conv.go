@@ -1,0 +1,237 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConvOut returns the output spatial size for one dimension of a
+// convolution or pooling with the given input size, kernel, stride, and
+// symmetric padding.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers x [N, C, H, W] into a matrix of shape
+// [N*outH*outW, C*kh*kw] so a convolution becomes a single GEMM, mirroring
+// the cuDNN GEMM-based convolution algorithms the paper's frameworks invoke.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs NCHW input, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for %v k=%dx%d s=%d p=%d", x.shape, kh, kw, stride, pad))
+	}
+	out := New(n*oh*ow, c*kh*kw)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				dst := out.data[row*c*kh*kw : (row+1)*c*kh*kw]
+				col := 0
+				for ch := 0; ch < c; ch++ {
+					cb := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								dst[col] = x.data[cb+iy*w+ix]
+							}
+							col++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im scatters the gradient of an Im2Col matrix back to input layout.
+// cols has shape [N*outH*outW, C*kh*kw]; the result has shape [N, C, H, W].
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	out := New(n, c, h, w)
+	row := 0
+	for b := 0; b < n; b++ {
+		base := b * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := cols.data[row*c*kh*kw : (row+1)*c*kh*kw]
+				col := 0
+				for ch := 0; ch < c; ch++ {
+					cb := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride + ky - pad
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride + kx - pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								out.data[cb+iy*w+ix] += src[col]
+							}
+							col++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D computes a 2-D convolution of x [N, C, H, W] with weights
+// w [F, C, kh, kw], returning [N, F, outH, outW].
+func Conv2D(x, w *Tensor, stride, pad int) *Tensor {
+	if x.Rank() != 4 || w.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Conv2D needs NCHW/FCHW, got %v, %v", x.shape, w.shape))
+	}
+	if x.shape[1] != w.shape[1] {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch %v, %v", x.shape, w.shape))
+	}
+	n, f := x.shape[0], w.shape[0]
+	kh, kw := w.shape[2], w.shape[3]
+	oh, ow := ConvOut(x.shape[2], kh, stride, pad), ConvOut(x.shape[3], kw, stride, pad)
+	cols := Im2Col(x, kh, kw, stride, pad) // [N*oh*ow, C*kh*kw]
+	wm := w.Reshape(f, -1)                 // [F, C*kh*kw]
+	prod := MatMulTransB(cols, wm)         // [N*oh*ow, F]
+	out := New(n, f, oh, ow)               // reorder to NCHW
+	for b := 0; b < n; b++ {
+		for p := 0; p < oh*ow; p++ {
+			row := prod.data[(b*oh*ow+p)*f : (b*oh*ow+p+1)*f]
+			for ch := 0; ch < f; ch++ {
+				out.data[((b*f+ch)*oh*ow)+p] = row[ch]
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes the gradients of a Conv2D. Given upstream gradient
+// gy [N, F, outH, outW], it returns (gx, gw) matching x and w.
+func Conv2DBackward(x, w, gy *Tensor, stride, pad int) (gx, gw *Tensor) {
+	n, c, h, wid := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	f, kh, kw := w.shape[0], w.shape[2], w.shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wid, kw, stride, pad)
+	// Rearrange gy from NCHW to [N*oh*ow, F].
+	g := New(n*oh*ow, f)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < f; ch++ {
+			src := gy.data[(b*f+ch)*oh*ow : (b*f+ch+1)*oh*ow]
+			for p, v := range src {
+				g.data[(b*oh*ow+p)*f+ch] = v
+			}
+		}
+	}
+	cols := Im2Col(x, kh, kw, stride, pad) // [N*oh*ow, C*kh*kw]
+	gwm := MatMulTransA(g, cols)           // [F, C*kh*kw]
+	gw = gwm.Reshape(f, c, kh, kw)
+	wm := w.Reshape(f, -1)
+	gcols := MatMul(g, wm) // [N*oh*ow, C*kh*kw]
+	gx = Col2Im(gcols, n, c, h, wid, kh, kw, stride, pad)
+	return gx, gw
+}
+
+// MaxPool2D computes max pooling over x [N, C, H, W] and returns the pooled
+// tensor plus the flat argmax indices needed by the backward pass.
+func MaxPool2D(x *Tensor, k, stride int) (*Tensor, []int) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	out := New(n, c, oh, ow)
+	idx := make([]int, out.Numel())
+	o := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.data[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+			pbase := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bi := -1
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							iy, ix := oy*stride+ky, ox*stride+kx
+							if iy < h && ix < w {
+								v := plane[iy*w+ix]
+								if v > best {
+									best, bi = v, pbase+iy*w+ix
+								}
+							}
+						}
+					}
+					out.data[o] = best
+					idx[o] = bi
+					o++
+				}
+			}
+		}
+	}
+	return out, idx
+}
+
+// MaxPool2DBackward scatters gy back through the argmax indices produced by
+// MaxPool2D.
+func MaxPool2DBackward(gy *Tensor, idx []int, inShape []int) *Tensor {
+	gx := New(inShape...)
+	for i, v := range gy.data {
+		gx.data[idx[i]] += v
+	}
+	return gx
+}
+
+// AvgPool2D computes average pooling over x [N, C, H, W].
+func AvgPool2D(x *Tensor, k, stride int) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	out := New(n, c, oh, ow)
+	inv := 1 / float32(k*k)
+	o := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.data[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var s float32
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							s += plane[(oy*stride+ky)*w+ox*stride+kx]
+						}
+					}
+					out.data[o] = s * inv
+					o++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2DBackward distributes gy evenly over each pooling window.
+func AvgPool2DBackward(gy *Tensor, inShape []int, k, stride int) *Tensor {
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	gx := New(inShape...)
+	inv := 1 / float32(k*k)
+	o := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gy.data[o] * inv
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							gx.data[base+(oy*stride+ky)*w+ox*stride+kx] += g
+						}
+					}
+					o++
+				}
+			}
+		}
+	}
+	return gx
+}

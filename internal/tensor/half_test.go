@@ -1,0 +1,91 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfExactValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{0.5, 0x3800},
+		{2, 0x4000},
+		{65504, 0x7bff}, // max finite half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := Float32ToHalf(c.f); got != c.h {
+			t.Fatalf("Float32ToHalf(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if back := HalfToFloat32(c.h); back != c.f {
+			t.Fatalf("HalfToFloat32(%#04x) = %g, want %g", c.h, back, c.f)
+		}
+	}
+}
+
+func TestHalfOverflowAndNaN(t *testing.T) {
+	if got := HalfToFloat32(Float32ToHalf(1e10)); !math.IsInf(float64(got), 1) {
+		t.Fatalf("1e10 should overflow to +Inf, got %g", got)
+	}
+	nan := Float32ToHalf(float32(math.NaN()))
+	if back := HalfToFloat32(nan); !math.IsNaN(float64(back)) {
+		t.Fatalf("NaN did not round-trip: %g", back)
+	}
+	// Tiny values underflow to zero with the right sign.
+	if got := HalfToFloat32(Float32ToHalf(-1e-30)); got != 0 || !math.Signbit(float64(got)) {
+		t.Fatalf("tiny negative should be -0, got %g", got)
+	}
+}
+
+func TestPropHalfRoundTripRelativeError(t *testing.T) {
+	// Half precision has a 10-bit mantissa: relative error <= 2^-11 for
+	// normal-range values.
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		av := math.Abs(float64(v))
+		if av < 6.2e-5 || av > 65000 { // outside half's normal range
+			return true
+		}
+		back := float64(HalfToFloat32(Float32ToHalf(v)))
+		rel := math.Abs(back-float64(v)) / av
+		return rel <= 1.0/2048+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeHalfSlices(t *testing.T) {
+	rng := NewRNG(1)
+	src := make([]float32, 1000)
+	for i := range src {
+		src[i] = float32(rng.Norm())
+	}
+	enc := EncodeHalf(src)
+	dec := DecodeHalf(enc)
+	if len(enc) != len(src) || len(dec) != len(src) {
+		t.Fatal("length mismatch")
+	}
+	var maxRel float64
+	for i := range src {
+		if src[i] == 0 {
+			continue
+		}
+		rel := math.Abs(float64(dec[i]-src[i])) / math.Abs(float64(src[i]))
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 1.0/1024 {
+		t.Fatalf("max relative error %g too large", maxRel)
+	}
+}

@@ -1,0 +1,147 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a @ b for 2-D tensors a [N, K] and b [K, M].
+// The inner loops are ordered i-k-j so the innermost loop streams through
+// contiguous rows of b and out, which matters for the conv2d im2col path.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v @ %v", a.shape, b.shape))
+	}
+	n, k := a.shape[0], a.shape[1]
+	k2, m := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.shape, b.shape))
+	}
+	out := New(n, m)
+	matmulInto(out.data, a.data, b.data, n, k, m)
+	return out
+}
+
+func matmulInto(dst, a, b []float32, n, k, m int) {
+	for i := 0; i < n; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*m : (i+1)*m]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[p*m : (p+1)*m]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ @ b for a [K, N] and b [K, M], producing [N, M]
+// without materializing the transpose. Used for weight gradients.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA needs rank-2 operands, got %v, %v", a.shape, b.shape))
+	}
+	k, n := a.shape[0], a.shape[1]
+	k2, m := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v, %v", a.shape, b.shape))
+	}
+	out := New(n, m)
+	for p := 0; p < k; p++ {
+		arow := a.data[p*n : (p+1)*n]
+		brow := b.data[p*m : (p+1)*m]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.data[i*m : (i+1)*m]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a @ bᵀ for a [N, K] and b [M, K], producing [N, M]
+// without materializing the transpose. Used for input gradients.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB needs rank-2 operands, got %v, %v", a.shape, b.shape))
+	}
+	n, k := a.shape[0], a.shape[1]
+	m, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v, %v", a.shape, b.shape))
+	}
+	out := New(n, m)
+	for i := 0; i < n; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		drow := out.data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+	return out
+}
+
+// MatVec returns a @ x for a [N, K] and x [K], producing [N].
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: MatVec needs [N,K] @ [K], got %v @ %v", a.shape, x.shape))
+	}
+	n, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %v @ %v", a.shape, x.shape))
+	}
+	out := New(n)
+	for i := 0; i < n; i++ {
+		row := a.data[i*k : (i+1)*k]
+		var s float32
+		for p, v := range row {
+			s += v * x.data[p]
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// Outer returns x ⊗ y, the [N, M] outer product of vectors x [N] and y [M].
+func Outer(x, y *Tensor) *Tensor {
+	if x.Rank() != 1 || y.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: Outer needs vectors, got %v, %v", x.shape, y.shape))
+	}
+	n, m := x.shape[0], y.shape[0]
+	out := New(n, m)
+	for i := 0; i < n; i++ {
+		xv := x.data[i]
+		row := out.data[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			row[j] = xv * y.data[j]
+		}
+	}
+	return out
+}
+
+// BatchMatMul multiplies matching batches: a [B, N, K] @ b [B, K, M] ->
+// [B, N, M]. Used by attention layers.
+func BatchMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: BatchMatMul needs rank-3 operands, got %v @ %v", a.shape, b.shape))
+	}
+	bb, n, k := a.shape[0], a.shape[1], a.shape[2]
+	if b.shape[0] != bb || b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: BatchMatMul mismatch %v @ %v", a.shape, b.shape))
+	}
+	m := b.shape[2]
+	out := New(bb, n, m)
+	for i := 0; i < bb; i++ {
+		matmulInto(out.data[i*n*m:(i+1)*n*m], a.data[i*n*k:(i+1)*n*k], b.data[i*k*m:(i+1)*k*m], n, k, m)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// apply2 runs f elementwise over same-shape tensors a and b into a new
+// tensor.
+func apply2(a, b *Tensor, op string, f func(x, y float32) float32) *Tensor {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	return apply2(a, b, "Add", func(x, y float32) float32 { return x + y })
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	return apply2(a, b, "Sub", func(x, y float32) float32 { return x - y })
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	return apply2(a, b, "Mul", func(x, y float32) float32 { return x * y })
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	return apply2(a, b, "Div", func(x, y float32) float32 { return x / y })
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	for i := range a.data {
+		a.data[i] += b.data[i]
+	}
+}
+
+// AXPY computes a += alpha*b in place.
+func AXPY(alpha float32, b, a *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: AXPY shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	for i := range a.data {
+		a.data[i] += alpha * b.data[i]
+	}
+}
+
+// Scale returns alpha * a in a new tensor.
+func Scale(a *Tensor, alpha float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = alpha * a.data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element by alpha.
+func (t *Tensor) ScaleInPlace(alpha float32) {
+	for i := range t.data {
+		t.data[i] *= alpha
+	}
+}
+
+// AddScalar returns a + c elementwise.
+func AddScalar(a *Tensor, c float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + c
+	}
+	return out
+}
+
+// Apply returns f mapped over a into a new tensor.
+func Apply(a *Tensor, f func(float32) float32) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}
+
+// AddRowBroadcast returns m + row where m is [N, F] and row is [F] (or
+// [1, F]); row is added to every row of m. Used for bias addition.
+func AddRowBroadcast(m, row *Tensor) *Tensor {
+	f := row.Numel()
+	if m.Rank() < 1 || m.Numel()%f != 0 {
+		panic(fmt.Sprintf("tensor: AddRowBroadcast %v + %v", m.shape, row.shape))
+	}
+	out := m.Clone()
+	for i := 0; i < m.Numel(); i += f {
+		for j := 0; j < f; j++ {
+			out.data[i+j] += row.data[j]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float32 {
+	// Pairwise-ish accumulation in float64 for stability.
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float32 { return t.Sum() / float32(len(t.data)) }
+
+// Max returns the maximum element.
+func (t *Tensor) Max() float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func (t *Tensor) Min() float32 {
+	m := float32(math.Inf(1))
+	for _, v := range t.data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Argmax returns the flat index of the maximum element.
+func (t *Tensor) Argmax() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// ArgmaxRows treats t as [N, F] (flattening trailing dims) and returns the
+// argmax of each row. Used for classification accuracy.
+func ArgmaxRows(t *Tensor) []int {
+	if t.Rank() < 2 {
+		panic("tensor: ArgmaxRows needs rank >= 2")
+	}
+	n := t.shape[0]
+	f := t.Numel() / n
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := t.data[i*f : (i+1)*f]
+		best, bi := float32(math.Inf(-1)), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// SumRows treats t as [N, F] and returns the column-wise sum, a tensor of
+// shape [F]. Used for bias gradients.
+func SumRows(t *Tensor) *Tensor {
+	if t.Rank() < 2 {
+		panic("tensor: SumRows needs rank >= 2")
+	}
+	n := t.shape[0]
+	f := t.Numel() / n
+	out := New(f)
+	for i := 0; i < n; i++ {
+		row := t.data[i*f : (i+1)*f]
+		for j, v := range row {
+			out.data[j] += v
+		}
+	}
+	return out
+}
+
+// L2Norm returns the Euclidean norm of all elements.
+func (t *Tensor) L2Norm() float32 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose needs rank 2, got %v", a.shape))
+	}
+	n, m := a.shape[0], a.shape[1]
+	out := New(m, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out.data[j*n+i] = a.data[i*m+j]
+		}
+	}
+	return out
+}
+
+// Concat concatenates tensors along axis 0. All trailing dimensions must
+// match.
+func Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of nothing")
+	}
+	inner := ts[0].Numel() / ts[0].shape[0]
+	rows := 0
+	for _, t := range ts {
+		if t.Numel()/t.shape[0] != inner {
+			panic("tensor: Concat inner-size mismatch")
+		}
+		rows += t.shape[0]
+	}
+	shape := append([]int{rows}, ts[0].shape[1:]...)
+	out := New(shape...)
+	off := 0
+	for _, t := range ts {
+		copy(out.data[off:], t.data)
+		off += t.Numel()
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and elements within
+// tolerance eps.
+func Equal(a, b *Tensor, eps float32) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.data {
+		d := a.data[i] - b.data[i]
+		if d < -eps || d > eps {
+			return false
+		}
+	}
+	return true
+}

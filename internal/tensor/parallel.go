@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel execution for the heavy numeric kernels. The worker count is
+// package-global (set once at startup); 1 disables goroutine fan-out.
+// Large GEMMs and batched convolutions split across row blocks; results
+// are bit-identical to the serial path because each worker writes a
+// disjoint output region.
+
+var parallelism = 1
+
+// SetParallelism sets the worker count for heavy ops (clamped to
+// [1, NumCPU]). It returns the value actually installed. Not safe to
+// call concurrently with running ops.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if max := runtime.NumCPU(); n > max {
+		n = max
+	}
+	parallelism = n
+	return n
+}
+
+// Parallelism returns the current worker count.
+func Parallelism() int { return parallelism }
+
+// parallelRows splits [0, n) into contiguous blocks and runs fn(lo, hi)
+// on each, in parallel when the work is large enough to amortize the
+// goroutine overhead.
+func parallelRows(n int, minRowsPerWorker int, fn func(lo, hi int)) {
+	workers := parallelism
+	if workers > n/minRowsPerWorker {
+		workers = n / minRowsPerWorker
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMulParallel is MatMul with row-block parallelism. With parallelism 1
+// (the default) it is exactly MatMul.
+func MatMulParallel(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
+		// Reuse MatMul's validation panics.
+		return MatMul(a, b)
+	}
+	n, k := a.shape[0], a.shape[1]
+	m := b.shape[1]
+	out := New(n, m)
+	parallelRows(n, 8, func(lo, hi int) {
+		matmulInto(out.data[lo*m:hi*m], a.data[lo*k:hi*k], b.data, hi-lo, k, m)
+	})
+	return out
+}
+
+// Conv2DParallel is Conv2D with the batch dimension split across
+// workers.
+func Conv2DParallel(x, w *Tensor, stride, pad int) *Tensor {
+	if x.Rank() != 4 || w.Rank() != 4 || x.shape[1] != w.shape[1] {
+		return Conv2D(x, w, stride, pad) // reuse validation
+	}
+	n := x.shape[0]
+	if parallelism <= 1 || n < 2 {
+		return Conv2D(x, w, stride, pad)
+	}
+	c, h, wid := x.shape[1], x.shape[2], x.shape[3]
+	f, kh, kw := w.shape[0], w.shape[2], w.shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wid, kw, stride, pad)
+	out := New(n, f, oh, ow)
+	per := c * h * wid
+	outPer := f * oh * ow
+	parallelRows(n, 1, func(lo, hi int) {
+		sub := FromSlice(x.data[lo*per:hi*per], hi-lo, c, h, wid)
+		y := Conv2D(sub, w, stride, pad)
+		copy(out.data[lo*outPer:hi*outPer], y.data)
+	})
+	return out
+}

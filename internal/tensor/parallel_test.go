@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSetParallelismClamps(t *testing.T) {
+	defer SetParallelism(1)
+	if got := SetParallelism(0); got != 1 {
+		t.Fatalf("SetParallelism(0) = %d", got)
+	}
+	if got := SetParallelism(1 << 20); got != runtime.NumCPU() {
+		t.Fatalf("SetParallelism(huge) = %d, want NumCPU", got)
+	}
+	if Parallelism() != runtime.NumCPU() {
+		t.Fatal("Parallelism() did not reflect the setting")
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(1)
+	rng := NewRNG(1)
+	a := RandNormal(rng, 0, 1, 64, 48)
+	b := RandNormal(rng, 0, 1, 48, 32)
+	want := MatMul(a, b)
+	for _, workers := range []int{1, 2, 4} {
+		SetParallelism(workers)
+		got := MatMulParallel(a, b)
+		if !Equal(got, want, 0) {
+			t.Fatalf("parallel (%d workers) differs from serial", workers)
+		}
+	}
+}
+
+func TestConv2DParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(1)
+	rng := NewRNG(2)
+	x := RandNormal(rng, 0, 1, 7, 3, 9, 9)
+	w := RandNormal(rng, 0, 0.5, 5, 3, 3, 3)
+	want := Conv2D(x, w, 2, 1)
+	SetParallelism(4)
+	got := Conv2DParallel(x, w, 2, 1)
+	if !Equal(got, want, 0) {
+		t.Fatal("parallel conv differs from serial")
+	}
+	// Batch of one falls back to serial.
+	x1 := RandNormal(rng, 0, 1, 1, 3, 9, 9)
+	if !Equal(Conv2DParallel(x1, w, 2, 1), Conv2D(x1, w, 2, 1), 0) {
+		t.Fatal("single-sample fallback differs")
+	}
+}
+
+func TestParallelRowsCoversRange(t *testing.T) {
+	defer SetParallelism(1)
+	SetParallelism(4)
+	hit := make([]int32, 100)
+	parallelRows(100, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hit[i]++
+		}
+	})
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("row %d covered %d times", i, h)
+		}
+	}
+	// Tiny ranges run serially without loss.
+	count := 0
+	parallelRows(3, 8, func(lo, hi int) { count += hi - lo })
+	if count != 3 {
+		t.Fatalf("small range covered %d rows", count)
+	}
+}
+
+func BenchmarkMatMulParallelSpeedup(b *testing.B) {
+	rng := NewRNG(3)
+	a := RandNormal(rng, 0, 1, 256, 256)
+	c := RandNormal(rng, 0, 1, 256, 256)
+	b.Run("serial", func(b *testing.B) {
+		SetParallelism(1)
+		for i := 0; i < b.N; i++ {
+			MatMulParallel(a, c)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		SetParallelism(runtime.NumCPU())
+		defer SetParallelism(1)
+		for i := 0; i < b.N; i++ {
+			MatMulParallel(a, c)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+// Package trace provides the nvprof-style timeline tooling of the paper's
+// analysis pipeline (Figure 3): capture of per-kernel execution records
+// from the simulator, gap analysis, and CSV/JSON export of the ".nvvp
+// file" equivalent that the toolchain merges with framework-level
+// measurements.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"tbd/internal/sim"
+)
+
+// Timeline is an ordered sequence of kernel executions.
+type Timeline struct {
+	Events []sim.Event
+}
+
+// New wraps captured events as a timeline.
+func New(events []sim.Event) *Timeline { return &Timeline{Events: events} }
+
+// Span returns the start of the first event and end of the last.
+func (t *Timeline) Span() (start, end float64) {
+	if len(t.Events) == 0 {
+		return 0, 0
+	}
+	start = t.Events[0].StartSec
+	for _, e := range t.Events {
+		if e.StartSec < start {
+			start = e.StartSec
+		}
+		if fin := e.StartSec + e.DurSec; fin > end {
+			end = fin
+		}
+	}
+	return start, end
+}
+
+// BusyTime returns the summed kernel durations.
+func (t *Timeline) BusyTime() float64 {
+	var s float64
+	for _, e := range t.Events {
+		s += e.DurSec
+	}
+	return s
+}
+
+// Gap is an idle interval between consecutive kernels.
+type Gap struct {
+	AfterKernel string
+	StartSec    float64
+	DurSec      float64
+}
+
+// Gaps returns every idle interval longer than minSec, the signature of
+// host-side stalls (sync points, launch starvation).
+func (t *Timeline) Gaps(minSec float64) []Gap {
+	var gaps []Gap
+	for i := 1; i < len(t.Events); i++ {
+		prevEnd := t.Events[i-1].StartSec + t.Events[i-1].DurSec
+		if idle := t.Events[i].StartSec - prevEnd; idle > minSec {
+			gaps = append(gaps, Gap{AfterKernel: t.Events[i-1].Name, StartSec: prevEnd, DurSec: idle})
+		}
+	}
+	return gaps
+}
+
+// TotalGapTime sums all idle time between kernels.
+func (t *Timeline) TotalGapTime() float64 {
+	var s float64
+	for _, g := range t.Gaps(0) {
+		s += g.DurSec
+	}
+	return s
+}
+
+// ByClass aggregates busy time per kernel class.
+func (t *Timeline) ByClass() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range t.Events {
+		out[e.Class.String()] += e.DurSec
+	}
+	return out
+}
+
+// TopKernels returns the n distinct kernel names with the largest total
+// duration, descending.
+func (t *Timeline) TopKernels(n int) []KernelSummary {
+	agg := map[string]*KernelSummary{}
+	for _, e := range t.Events {
+		s, ok := agg[e.Name]
+		if !ok {
+			s = &KernelSummary{Name: e.Name}
+			agg[e.Name] = s
+		}
+		s.Count++
+		s.TotalSec += e.DurSec
+		s.FLOPs += e.FLOPs
+	}
+	var out []KernelSummary
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalSec > out[j].TotalSec })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// KernelSummary aggregates one kernel name across a timeline.
+type KernelSummary struct {
+	Name     string
+	Count    int
+	TotalSec float64
+	FLOPs    float64
+}
+
+// WriteCSV renders the timeline as nvprof-style CSV.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "start_s,duration_s,name,class,flops,sync"); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(w, "%.9f,%.9f,%q,%s,%.0f,%v\n",
+			e.StartSec, e.DurSec, e.Name, e.Class, e.FLOPs, e.Sync); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace renders the timeline in the Chrome trace-event format
+// (catapult JSON), loadable in chrome://tracing or Perfetto — the closest
+// open equivalent of opening an .nvvp file in the NVIDIA Visual Profiler.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	type event struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`  // microseconds
+		Dur  float64 `json:"dur"` // microseconds
+		PID  int     `json:"pid"`
+		TID  int     `json:"tid"`
+	}
+	events := make([]event, len(t.Events))
+	for i, e := range t.Events {
+		events[i] = event{
+			Name: e.Name,
+			Cat:  e.Class.String(),
+			Ph:   "X",
+			TS:   e.StartSec * 1e6,
+			Dur:  e.DurSec * 1e6,
+			PID:  0,
+			TID:  0,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []event `json:"traceEvents"`
+	}{events})
+}
+
+// WriteJSON renders the timeline as a JSON array.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	type rec struct {
+		Start float64 `json:"start_s"`
+		Dur   float64 `json:"duration_s"`
+		Name  string  `json:"name"`
+		Class string  `json:"class"`
+		FLOPs float64 `json:"flops"`
+		Sync  bool    `json:"sync,omitempty"`
+	}
+	recs := make([]rec, len(t.Events))
+	for i, e := range t.Events {
+		recs[i] = rec{Start: e.StartSec, Dur: e.DurSec, Name: e.Name, Class: e.Class.String(), FLOPs: e.FLOPs, Sync: e.Sync}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

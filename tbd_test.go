@@ -1,0 +1,355 @@
+package tbd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksSurface(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 8 {
+		t.Fatalf("Benchmarks() = %d entries, want 8", len(bs))
+	}
+	for _, b := range bs {
+		if b.Name == "" || b.Dataset == "" || len(b.Frameworks) == 0 || len(b.BatchSizes) == 0 {
+			t.Fatalf("incomplete benchmark info: %+v", b)
+		}
+	}
+	if len(Frameworks()) != 3 || len(GPUs()) != 3 {
+		t.Fatal("framework/GPU registries wrong")
+	}
+}
+
+func TestProfileTraining(t *testing.T) {
+	p, err := ProfileTraining("ResNet-50", "MXNet", "Quadro P4000", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 || p.GPUUtil <= 0 || p.GPUUtil > 1 || p.IterTimeSec <= 0 {
+		t.Fatalf("degenerate profile: %+v", p)
+	}
+	if p.Implementation != "ResNet-50" || p.BatchUnit != "samples" {
+		t.Fatalf("profile metadata wrong: %+v", p)
+	}
+	// Variant naming surfaces.
+	p2, err := ProfileTraining("Seq2Seq", "MXNet", "", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Implementation != "Sockeye" {
+		t.Fatalf("implementation = %s, want Sockeye", p2.Implementation)
+	}
+}
+
+func TestProfileTrainingValidation(t *testing.T) {
+	if _, err := ProfileTraining("Transformer", "CNTK", "", 64); err == nil {
+		t.Fatal("Transformer has no CNTK implementation; want error")
+	}
+	if _, err := ProfileTraining("NoSuchModel", "MXNet", "", 8); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+	if _, err := ProfileTraining("ResNet-50", "Caffe", "", 8); err == nil {
+		t.Fatal("unknown framework must fail")
+	}
+	if _, err := ProfileTraining("ResNet-50", "MXNet", "V100", 8); err == nil {
+		t.Fatal("unknown GPU must fail")
+	}
+	if _, err := ProfileTraining("ResNet-50", "MXNet", "", 0); err == nil {
+		t.Fatal("zero batch must fail")
+	}
+}
+
+func TestLowUtilizationKernels(t *testing.T) {
+	ks, err := LowUtilizationKernels("ResNet-50", "TensorFlow", "", 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 5 {
+		t.Fatalf("got %d kernels, want 5", len(ks))
+	}
+	foundBN := false
+	for _, k := range ks {
+		if strings.Contains(k.Name, "bn_") {
+			foundBN = true
+		}
+	}
+	if !foundBN {
+		t.Fatal("batch-norm kernels missing (Tables 5/6)")
+	}
+}
+
+func TestProfileMemory(t *testing.T) {
+	bd, err := ProfileMemory("ResNet-50", "MXNet", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.FeatureMaps <= bd.Weights {
+		t.Fatal("feature maps should dominate weights (Observation 11)")
+	}
+	share := bd.FeatureMapShare()
+	if share < 0.5 || share > 0.95 {
+		t.Fatalf("feature-map share %.2f", share)
+	}
+	if bd.Dynamic == 0 {
+		t.Fatal("MXNet must report dynamic memory")
+	}
+}
+
+func TestMaxBatch(t *testing.T) {
+	small, err := MaxBatch("ResNet-50", "TensorFlow", 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := MaxBatch("ResNet-50", "TensorFlow", 16<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= large || large != 64 {
+		t.Fatalf("max batches %d, %d", small, large)
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	rs, err := ScalingStudy("ResNet-50", "MXNet", []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("scaling study rows = %d, want 5 configs", len(rs))
+	}
+	byName := map[string]ScalingResult{}
+	for _, r := range rs {
+		byName[r.Config] = r
+	}
+	if byName["2M1G (ethernet)"].Throughput >= byName["1M1G"].Throughput {
+		t.Fatal("ethernet must collapse")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("got %d experiments, want 14", len(ids))
+	}
+	title, err := ExperimentTitle("fig9")
+	if err != nil || !strings.Contains(title, "memory") {
+		t.Fatalf("fig9 title = %q, %v", title, err)
+	}
+	if _, err := ExperimentTitle("nope"); err == nil {
+		t.Fatal("unknown id must fail")
+	}
+}
+
+func TestRunExperimentRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("table4", &buf, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Quadro P4000") {
+		t.Fatalf("table4 output missing device:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RunExperiment("fig10", &buf, RunOptions{CSV: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "series,x,y") {
+		t.Fatal("CSV mode did not emit CSV")
+	}
+	if err := RunExperiment("fig99", &buf, RunOptions{}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+	buf.Reset()
+	if err := RunExperiment("fig8", &buf, RunOptions{GPU: "TITAN Xp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckObservationsAllHold(t *testing.T) {
+	obs := CheckObservations()
+	if len(obs) != 13 {
+		t.Fatalf("got %d observations, want 13", len(obs))
+	}
+	for _, o := range obs {
+		if !o.Holds {
+			t.Errorf("observation %d failed: %s (%s)", o.ID, o.Claim, o.Detail)
+		}
+	}
+}
+
+func TestIterationFLOPs(t *testing.T) {
+	one, err := IterationFLOPs("ResNet-50", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thirtyTwo, err := IterationFLOPs("ResNet-50", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := thirtyTwo / one
+	if ratio < 30 || ratio > 34 {
+		t.Fatalf("FLOPs should scale ~linearly with batch, ratio %.1f", ratio)
+	}
+}
+
+func TestExtensionBenchmarks(t *testing.T) {
+	exts := ExtensionBenchmarks()
+	if len(exts) == 0 || exts[0].Name != "YOLO9000" {
+		t.Fatalf("extensions = %+v", exts)
+	}
+	// Extensions are profileable like suite models.
+	p, err := ProfileTraining("YOLO9000", "MXNet", "", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput <= 0 {
+		t.Fatal("extension profile degenerate")
+	}
+}
+
+func TestProfilePhases(t *testing.T) {
+	p, err := ProfilePhases("ResNet-50", "TensorFlow", "", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BackwardSec <= p.ForwardSec {
+		t.Fatal("backward should outweigh forward")
+	}
+	if p.UpdateSec <= 0 || p.ForwardKernels == 0 {
+		t.Fatalf("degenerate phases: %+v", p)
+	}
+	if _, err := ProfilePhases("nope", "TensorFlow", "", 8); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestTopMemoryConsumers(t *testing.T) {
+	cs, err := TopMemoryConsumers("Seq2Seq", 64, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 6 {
+		t.Fatalf("got %d consumers", len(cs))
+	}
+	// The 17188-vocabulary softmax dominates, with the LSTM stashes
+	// close behind.
+	if cs[0].Layer != "loss" {
+		t.Fatalf("top consumer layer %q, want the vocabulary loss", cs[0].Layer)
+	}
+	sawLSTM := false
+	for i, c := range cs {
+		if c.Layer == "lstm" {
+			sawLSTM = true
+		}
+		if i > 0 && c.FeatureMapBytes > cs[i-1].FeatureMapBytes {
+			t.Fatal("not sorted")
+		}
+	}
+	if !sawLSTM {
+		t.Fatal("LSTM stashes missing from the top consumers")
+	}
+}
+
+func TestAnalyzeOffload(t *testing.T) {
+	bd, err := ProfileMemory("ResNet-50", "TensorFlow", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := bd.Total() / 2
+	a, err := AnalyzeOffload("ResNet-50", "TensorFlow", 64, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fits || a.FreedBytes == 0 || a.TransferSecPerIter <= 0 {
+		t.Fatalf("offload analysis degenerate: %+v", a)
+	}
+	if a.RemainingBytes > target {
+		t.Fatal("remaining footprint exceeds target despite Fits")
+	}
+	// Already-fitting target is a no-op.
+	a2, err := AnalyzeOffload("A3C", "MXNet", 8, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.FreedBytes != 0 {
+		t.Fatal("no-op offload moved data")
+	}
+}
+
+func TestExportTrace(t *testing.T) {
+	var csv bytes.Buffer
+	if err := ExportTrace("A3C", "MXNet", "", 8, &csv, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "start_s,") {
+		t.Fatal("csv trace missing header")
+	}
+	var js bytes.Buffer
+	if err := ExportTrace("A3C", "MXNet", "", 8, &js, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"name\"") {
+		t.Fatal("json trace missing fields")
+	}
+	if err := ExportTrace("nope", "MXNet", "", 8, &js, true); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestObservation10ExtrapolatesToV100(t *testing.T) {
+	// The V100 extension continues the Titan Xp trend where it should:
+	// more throughput at every batch, and at small batches its extra
+	// cores sit even emptier (lower occupancy -> lower GPU and FP32
+	// utilization). At large batches its HBM2 bandwidth *improves*
+	// FP32 efficiency relative to the Titan Xp — the balanced-machine
+	// effect, not a violation of Observation 10.
+	xp, err := ProfileTraining("ResNet-50", "MXNet", "TITAN Xp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v100, err := ProfileTraining("ResNet-50", "MXNet", "Tesla V100", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v100.Throughput <= xp.Throughput {
+		t.Fatalf("V100 throughput %.1f <= Titan Xp %.1f", v100.Throughput, xp.Throughput)
+	}
+	if v100.FP32Util >= xp.FP32Util || v100.GPUUtil >= xp.GPUUtil {
+		t.Fatalf("V100 small-batch utilization (%.2f/%.2f) should drop below Titan Xp (%.2f/%.2f)",
+			v100.GPUUtil, v100.FP32Util, xp.GPUUtil, xp.FP32Util)
+	}
+	// P4000 remains the best-utilized card of the three.
+	p4, err := ProfileTraining("ResNet-50", "MXNet", "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4.GPUUtil <= v100.GPUUtil {
+		t.Fatal("smallest card should be best utilized")
+	}
+}
+
+func TestSetEngineParallelism(t *testing.T) {
+	defer SetEngineParallelism(1)
+	if got := SetEngineParallelism(0); got != 1 {
+		t.Fatalf("SetEngineParallelism(0) = %d", got)
+	}
+	// Parallel execution must not change training results.
+	SetEngineParallelism(4)
+	run, err := TrainTwin("ResNet-50", 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetEngineParallelism(1)
+	run2, err := TrainTwin("ResNet-50", 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Points) != len(run2.Points) {
+		t.Fatal("parallelism changed the curve length")
+	}
+	for i := range run.Points {
+		if run.Points[i].Value != run2.Points[i].Value {
+			t.Fatalf("parallelism changed training results at point %d", i)
+		}
+	}
+}
