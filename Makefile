@@ -1,8 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test bench cover reproduce observations examples clean
+.PHONY: all check build vet test race bench bench-all cover reproduce observations examples clean
 
-all: build vet test
+all: check
+
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -13,7 +15,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race detector over the packages the worker pool and buffer arena touch.
+race:
+	$(GO) test -race ./internal/tensor/... ./internal/layers/... ./internal/graph/...
+
+# Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
+# machine-readable for regression tracking.
 bench:
+	$(GO) test -run '^$$' -bench 'GEMM|ConvFwdBwd|TwinStep' -benchtime 3s -benchmem -json . > BENCH_numeric.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_numeric.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
+bench-all:
 	$(GO) test -bench=. -benchmem
 
 cover:

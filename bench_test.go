@@ -10,6 +10,7 @@ package tbd
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"tbd/internal/data"
@@ -290,5 +291,79 @@ func BenchmarkWarmupDetection(b *testing.B) {
 		if m.StableStart(0.1) == 0 {
 			b.Fatal("warm-up not detected")
 		}
+	}
+}
+
+// --- blocked-GEMM / pooled-training benchmarks (BENCH_numeric.json) ---
+
+func benchGEMM(b *testing.B, f func(a, c *tensor.Tensor) *tensor.Tensor) {
+	b.Helper()
+	rng := tensor.NewRNG(8)
+	a := tensor.RandNormal(rng, 0, 1, 256, 256)
+	c := tensor.RandNormal(rng, 0, 1, 256, 256)
+	b.SetBytes(3 * 256 * 256 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(a, c).Release()
+	}
+	b.ReportMetric(2*256*256*256*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFLOP/s")
+}
+
+func BenchmarkGEMM256(b *testing.B)       { benchGEMM(b, tensor.MatMul) }
+func BenchmarkGEMMTransA256(b *testing.B) { benchGEMM(b, tensor.MatMulTransA) }
+func BenchmarkGEMMTransB256(b *testing.B) { benchGEMM(b, tensor.MatMulTransB) }
+
+func BenchmarkConvFwdBwd(b *testing.B) {
+	rng := tensor.NewRNG(9)
+	x := tensor.RandNormal(rng, 0, 1, 8, 8, 14, 14)
+	w := tensor.RandNormal(rng, 0, 0.1, 16, 8, 3, 3)
+	oh := tensor.ConvOut(14, 3, 1, 1)
+	gy := tensor.RandNormal(rng, 0, 1, 8, 16, oh, oh)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := tensor.Conv2D(x, w, 1, 1)
+		gx, gw := tensor.Conv2DBackward(x, w, gy, 1, 1)
+		y.Release()
+		gx.Release()
+		gw.Release()
+	}
+}
+
+// BenchmarkTwinStep measures one full training step of the numeric ResNet
+// twin under the engine configurations the backend work targets: the
+// seed-equivalent serial/no-pool mode, pooling alone, and pooling with the
+// worker pool engaged.
+func BenchmarkTwinStep(b *testing.B) {
+	configs := []struct {
+		name    string
+		workers int
+		pooled  bool
+	}{
+		{"serial-nopool", 1, false},
+		{"pooled", 1, true},
+		{"parallel-pooled", runtime.NumCPU(), true},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			prevPool := tensor.SetPooling(cfg.pooled)
+			tensor.SetParallelism(cfg.workers)
+			defer func() {
+				tensor.SetPooling(prevPool)
+				tensor.SetParallelism(1)
+			}()
+			rng := tensor.NewRNG(10)
+			src := data.NewImageSource(rng, 3, 16, 16, 10, 0.3)
+			net := models.NumericResNet(rng, 3, 16, 10)
+			opt := optim.NewAdam(0.01)
+			batch := src.Batch(32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.TrainClassifierStep(net, opt, batch.X, batch.Labels, 5)
+			}
+			b.ReportMetric(32*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"tbd"
@@ -195,9 +196,11 @@ func cmdRun(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	gpu := fs.String("gpu", "", "GPU under test (default Quadro P4000)")
 	quick := fs.Bool("quick", false, "shorten the fig2 numeric training runs")
+	workers := fs.Int("parallel", runtime.NumCPU(), "numeric engine worker count (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tbd.SetEngineParallelism(*workers)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("run: missing experiment id (one of: %s, all)", strings.Join(tbd.ExperimentIDs(), " "))
 	}
@@ -320,9 +323,11 @@ func cmdTwin(args []string) error {
 	model := fs.String("model", "ResNet-50", "benchmark model")
 	steps := fs.Int("steps", 200, "optimizer updates")
 	seed := fs.Uint64("seed", 1, "RNG seed")
+	workers := fs.Int("parallel", runtime.NumCPU(), "numeric engine worker count (results are identical for any value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tbd.SetEngineParallelism(*workers)
 	run, err := tbd.TrainTwin(*model, *steps, *seed)
 	if err != nil {
 		return err

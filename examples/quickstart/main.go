@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"tbd"
@@ -31,6 +32,7 @@ func main() {
 }
 
 func run() error {
+	tbd.SetEngineParallelism(runtime.NumCPU())
 	fmt.Println("== The TBD benchmark suite (Table 2) ==")
 	for _, b := range tbd.Benchmarks() {
 		fmt.Printf("  %-14s %-28s on %v\n", b.Name, b.Application, b.Frameworks)

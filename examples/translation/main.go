@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
 
 	"tbd"
 	"tbd/internal/data"
@@ -45,6 +46,7 @@ func trainTwin(name string, net *graph.Network, src *data.TranslationSource, ste
 }
 
 func run() error {
+	tbd.SetEngineParallelism(runtime.NumCPU())
 	rng := tensor.NewRNG(7)
 	fmt.Println("== Training numeric twins on the synthetic translation task ==")
 	src := data.NewTranslationSource(rng, 12, 6)

@@ -16,6 +16,12 @@ import (
 type Network struct {
 	Name string
 	Root layers.Layer
+
+	// params caches the flattened parameter list. Walking the layer tree
+	// appends dozens of small slices per call, and the training step asks
+	// for the list every iteration; networks are assembled before training
+	// starts, so caching after the first walk is safe.
+	params []*layers.Param
 }
 
 // New wraps a root layer as a network.
@@ -33,8 +39,15 @@ func (n *Network) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	return n.Root.Backward(gy)
 }
 
-// Params returns all trainable parameters.
-func (n *Network) Params() []*layers.Param { return n.Root.Params() }
+// Params returns all trainable parameters. The list is computed on the
+// first call and cached; layers must not be added to the network after
+// training begins.
+func (n *Network) Params() []*layers.Param {
+	if n.params == nil {
+		n.params = n.Root.Params()
+	}
+	return n.params
+}
 
 // ParamCount returns the number of trainable scalars.
 func (n *Network) ParamCount() int64 { return layers.ParamCount(n.Params()) }
@@ -64,6 +77,10 @@ func TrainClassifierStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labe
 	logits := n.Forward(x, true)
 	loss, grad := tensor.CrossEntropy(logits, labels)
 	n.Backward(grad)
+	// The loss gradient is this step's own buffer and dead after backward;
+	// the logits and input gradient belong to the layers that produced
+	// them and are recycled on the next step.
+	grad.Release()
 	var norm float32
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)
@@ -75,7 +92,8 @@ func TrainClassifierStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labe
 // EvalClassifier computes loss and accuracy without updating weights.
 func EvalClassifier(n *Network, x *tensor.Tensor, labels []int) StepResult {
 	logits := n.Forward(x, false)
-	loss, _ := tensor.CrossEntropy(logits, labels)
+	loss, grad := tensor.CrossEntropy(logits, labels)
+	grad.Release()
 	return StepResult{Loss: loss, Accuracy: tensor.Accuracy(logits, labels)}
 }
 
@@ -101,6 +119,7 @@ func TrainClassifierAccumulated(n *Network, opt optim.Optimizer, microX []*tenso
 		// 1/k so the accumulated gradient averages over the full batch.
 		grad.ScaleInPlace(inv)
 		n.Backward(grad)
+		grad.Release()
 		lossSum += float64(loss)
 		pred := tensor.ArgmaxRows(logits)
 		for j, p := range pred {
@@ -136,6 +155,7 @@ func TrainSequenceStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels
 	logits := out.Reshape(rows, out.Numel()/rows)
 	loss, grad := tensor.CrossEntropy(logits, labels)
 	n.Backward(grad.Reshape(out.Shape()...))
+	grad.Release()
 	var norm float32
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)

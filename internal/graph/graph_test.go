@@ -388,3 +388,50 @@ func TestFixedSetOverfittingDetected(t *testing.T) {
 		t.Fatalf("no overfitting gap detected: train %.2f vs val %.2f", trainAcc, valAcc)
 	}
 }
+
+// smallCNN builds a conv classifier exercising the pooled conv, BN, and
+// dense paths end to end.
+func smallCNN(rng *tensor.RNG) *Network {
+	return New("cnn", layers.NewSequential("cnn",
+		layers.NewConv2D("c1", 1, 4, 3, 1, 1, rng),
+		layers.NewBatchNorm2D("bn1", 4),
+		layers.NewReLU("r1"),
+		layers.NewGlobalAvgPool2D("gap"),
+		layers.NewDense("fc", 4, 3, rng),
+	))
+}
+
+// TestTrainingPooledMatchesUnpooled pins that buffer reuse cannot change
+// training: the same steps with the arena on and off produce exactly the
+// same losses, accuracies, and final weights.
+func TestTrainingPooledMatchesUnpooled(t *testing.T) {
+	src := data.NewImageSource(tensor.NewRNG(9), 1, 6, 6, 3, 0.3)
+	batches := make([]data.ImageBatch, 6)
+	for i := range batches {
+		batches[i] = src.Batch(8)
+	}
+	run := func(pooled bool) ([]float32, *Network) {
+		prev := tensor.SetPooling(pooled)
+		defer tensor.SetPooling(prev)
+		net := smallCNN(tensor.NewRNG(10))
+		opt := optim.NewAdam(0.01)
+		losses := make([]float32, len(batches))
+		for i, b := range batches {
+			losses[i] = TrainClassifierStep(net, opt, b.X, b.Labels, 5).Loss
+		}
+		return losses, net
+	}
+	wantLoss, wantNet := run(false)
+	gotLoss, gotNet := run(true)
+	for i := range wantLoss {
+		if gotLoss[i] != wantLoss[i] {
+			t.Fatalf("step %d: pooled loss %v != unpooled %v", i, gotLoss[i], wantLoss[i])
+		}
+	}
+	wantParams, gotParams := wantNet.Root.Params(), gotNet.Root.Params()
+	for i := range wantParams {
+		if !tensor.Equal(gotParams[i].Value, wantParams[i].Value, 0) {
+			t.Fatalf("param %s differs between pooled and unpooled training", wantParams[i].Name)
+		}
+	}
+}

@@ -8,8 +8,9 @@ import (
 
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
-	name string
-	mask *tensor.Tensor
+	name    string
+	mask    *tensor.Tensor
+	out, gx *tensor.Tensor // previously returned buffers
 }
 
 // NewReLU constructs a ReLU activation.
@@ -18,26 +19,44 @@ func NewReLU(name string) *ReLU { return &ReLU{name: name} }
 func (l *ReLU) Name() string { return l.name }
 
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
-	var mask *tensor.Tensor
+	l.mask.Release()
+	l.out.Release()
+	// Dirty buffers: both branches of the loop store every element.
+	out := tensor.AcquireDirty(x.Shape()...)
 	if train {
-		mask = tensor.New(x.Shape()...)
-	}
-	for i, v := range x.Data() {
-		if v > 0 {
-			out.Data()[i] = v
-			if mask != nil {
-				mask.Data()[i] = 1
+		mask := tensor.AcquireDirty(x.Shape()...)
+		ov, mv := out.Data(), mask.Data()
+		for i, v := range x.Data() {
+			if v > 0 {
+				ov[i] = v
+				mv[i] = 1
+			} else {
+				ov[i] = 0
+				mv[i] = 0
 			}
 		}
+		l.mask = mask
+	} else {
+		ov := out.Data()
+		for i, v := range x.Data() {
+			if v > 0 {
+				ov[i] = v
+			} else {
+				ov[i] = 0
+			}
+		}
+		l.mask = nil
 	}
-	l.mask = mask
+	l.out = out
 	return out
 }
 
 func (l *ReLU) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(l.name, l.mask)
-	return tensor.Mul(gy, l.mask)
+	l.gx.Release()
+	gx := tensor.Mul(gy, l.mask)
+	l.gx = gx
+	return gx
 }
 
 func (l *ReLU) Params() []*Param  { return nil }
@@ -45,9 +64,10 @@ func (l *ReLU) StashBytes() int64 { return bytesOf(l.mask) }
 
 // LeakyReLU applies x if x>0 else alpha*x (used by WGAN critics).
 type LeakyReLU struct {
-	name  string
-	Alpha float32
-	x     *tensor.Tensor
+	name    string
+	Alpha   float32
+	x       *tensor.Tensor
+	out, gx *tensor.Tensor
 }
 
 // NewLeakyReLU constructs a leaky ReLU with the given negative slope.
@@ -58,22 +78,27 @@ func NewLeakyReLU(name string, alpha float32) *LeakyReLU {
 func (l *LeakyReLU) Name() string { return l.name }
 
 func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.out.Release()
 	if train {
 		l.x = x
 	} else {
 		l.x = nil
 	}
-	return tensor.Apply(x, func(v float32) float32 {
+	y := tensor.Apply(x, func(v float32) float32 {
 		if v > 0 {
 			return v
 		}
 		return l.Alpha * v
 	})
+	l.out = y
+	return y
 }
 
 func (l *LeakyReLU) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(l.name, l.x)
-	out := tensor.New(gy.Shape()...)
+	l.gx.Release()
+	out := tensor.AcquireDirty(gy.Shape()...)
+	l.gx = out
 	for i, v := range l.x.Data() {
 		if v > 0 {
 			out.Data()[i] = gy.Data()[i]
@@ -89,8 +114,9 @@ func (l *LeakyReLU) StashBytes() int64 { return bytesOf(l.x) }
 
 // Sigmoid applies the logistic function elementwise.
 type Sigmoid struct {
-	name string
-	y    *tensor.Tensor
+	name    string
+	y       *tensor.Tensor
+	out, gx *tensor.Tensor
 }
 
 // NewSigmoid constructs a sigmoid activation.
@@ -103,7 +129,9 @@ func sigmoid(v float32) float32 {
 }
 
 func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.out.Release()
 	y := tensor.Apply(x, sigmoid)
+	l.out = y
 	if train {
 		l.y = y
 	} else {
@@ -114,7 +142,9 @@ func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 func (l *Sigmoid) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(l.name, l.y)
-	out := tensor.New(gy.Shape()...)
+	l.gx.Release()
+	out := tensor.AcquireDirty(gy.Shape()...)
+	l.gx = out
 	for i, y := range l.y.Data() {
 		out.Data()[i] = gy.Data()[i] * y * (1 - y)
 	}
@@ -126,8 +156,9 @@ func (l *Sigmoid) StashBytes() int64 { return bytesOf(l.y) }
 
 // Tanh applies the hyperbolic tangent elementwise.
 type Tanh struct {
-	name string
-	y    *tensor.Tensor
+	name    string
+	y       *tensor.Tensor
+	out, gx *tensor.Tensor
 }
 
 // NewTanh constructs a tanh activation.
@@ -136,7 +167,9 @@ func NewTanh(name string) *Tanh { return &Tanh{name: name} }
 func (l *Tanh) Name() string { return l.name }
 
 func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.out.Release()
 	y := tensor.Apply(x, func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	l.out = y
 	if train {
 		l.y = y
 	} else {
@@ -147,7 +180,9 @@ func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 func (l *Tanh) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(l.name, l.y)
-	out := tensor.New(gy.Shape()...)
+	l.gx.Release()
+	out := tensor.AcquireDirty(gy.Shape()...)
+	l.gx = out
 	for i, y := range l.y.Data() {
 		out.Data()[i] = gy.Data()[i] * (1 - y*y)
 	}
@@ -161,10 +196,11 @@ func (l *Tanh) StashBytes() int64 { return bytesOf(l.y) }
 // the survivors by 1/(1-P) (inverted dropout), becoming identity at
 // inference.
 type Dropout struct {
-	name string
-	P    float32
-	rng  *tensor.RNG
-	mask *tensor.Tensor
+	name    string
+	P       float32
+	rng     *tensor.RNG
+	mask    *tensor.Tensor
+	out, gx *tensor.Tensor
 }
 
 // NewDropout constructs a dropout layer with drop probability p.
@@ -178,13 +214,16 @@ func NewDropout(name string, p float32, rng *tensor.RNG) *Dropout {
 func (l *Dropout) Name() string { return l.name }
 
 func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.mask.Release()
+	l.out.Release()
+	l.out = nil
 	if !train || l.P == 0 {
 		l.mask = nil
 		return x
 	}
 	scale := 1 / (1 - l.P)
-	mask := tensor.New(x.Shape()...)
-	out := tensor.New(x.Shape()...)
+	mask := tensor.Acquire(x.Shape()...)
+	out := tensor.Acquire(x.Shape()...)
 	for i, v := range x.Data() {
 		if l.rng.Float32() >= l.P {
 			mask.Data()[i] = scale
@@ -192,14 +231,19 @@ func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	l.mask = mask
+	l.out = out
 	return out
 }
 
 func (l *Dropout) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	l.gx.Release()
+	l.gx = nil
 	if l.mask == nil {
 		return gy
 	}
-	return tensor.Mul(gy, l.mask)
+	gx := tensor.Mul(gy, l.mask)
+	l.gx = gx
+	return gx
 }
 
 func (l *Dropout) Params() []*Param  { return nil }

@@ -14,6 +14,8 @@ type Conv2D struct {
 	W, B                *Param
 	useBias             bool
 	x                   *tensor.Tensor
+	cols                *tensor.Tensor // im2col lowering kept for backward
+	out, gx             *tensor.Tensor // previously returned buffers
 }
 
 // NewConv2D constructs a convolution with He-initialized weights (the
@@ -43,12 +45,20 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("layers: %s expects [N,%d,H,W], got %v", c.name, c.InC, x.Shape()))
 	}
+	c.out.Release()
+	c.cols.Release()
+	var y *tensor.Tensor
 	if train {
 		c.x = x
+		// Keep the lowering for the backward pass — recomputing im2col is
+		// the textbook workspace-memory-for-throughput trade.
+		y, c.cols = tensor.Conv2DWithCols(x, c.W.Value, c.Stride, c.Pad)
 	} else {
 		c.x = nil
+		c.cols = nil
+		y = tensor.Conv2D(x, c.W.Value, c.Stride, c.Pad)
 	}
-	y := tensor.Conv2DParallel(x, c.W.Value, c.Stride, c.Pad)
+	c.out = y
 	if c.useBias {
 		// Bias is per output channel; broadcast over N and spatial dims.
 		n, f, oh, ow := y.Dim(0), y.Dim(1), y.Dim(2), y.Dim(3)
@@ -67,8 +77,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 func (c *Conv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(c.name, c.x)
-	gx, gw := tensor.Conv2DBackward(c.x, c.W.Value, gy, c.Stride, c.Pad)
+	c.gx.Release()
+	gx, gw := tensor.Conv2DBackwardCols(c.cols, c.x.Shape(), c.W.Value, gy, c.Stride, c.Pad)
 	tensor.AddInPlace(c.W.Grad, gw)
+	gw.Release()
 	if c.useBias {
 		n, f, oh, ow := gy.Dim(0), gy.Dim(1), gy.Dim(2), gy.Dim(3)
 		for b := 0; b < n; b++ {
@@ -82,6 +94,7 @@ func (c *Conv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	c.gx = gx
 	return gx
 }
 
@@ -92,7 +105,7 @@ func (c *Conv2D) Params() []*Param {
 	return []*Param{c.W}
 }
 
-func (c *Conv2D) StashBytes() int64 { return bytesOf(c.x) }
+func (c *Conv2D) StashBytes() int64 { return bytesOf(c.x) + bytesOf(c.cols) }
 
 // WorkspaceBytes reports the im2col scratch buffer size for a given input,
 // which the memory profiler attributes to the "workspace" category — the
@@ -109,6 +122,7 @@ type MaxPool2D struct {
 	K, Stride int
 	idx       []int
 	inShape   []int
+	out, gx   *tensor.Tensor
 }
 
 // NewMaxPool2D constructs a max-pooling layer.
@@ -119,7 +133,9 @@ func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
 func (l *MaxPool2D) Name() string { return l.name }
 
 func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.out.Release()
 	y, idx := tensor.MaxPool2D(x, l.K, l.Stride)
+	l.out = y
 	if train {
 		l.idx = idx
 		l.inShape = append([]int(nil), x.Shape()...)
@@ -133,7 +149,10 @@ func (l *MaxPool2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	if l.idx == nil {
 		panic(fmt.Sprintf("layers: %s.Backward called before Forward(train=true)", l.name))
 	}
-	return tensor.MaxPool2DBackward(gy, l.idx, l.inShape)
+	l.gx.Release()
+	gx := tensor.MaxPool2DBackward(gy, l.idx, l.inShape)
+	l.gx = gx
+	return gx
 }
 
 func (l *MaxPool2D) Params() []*Param  { return nil }
@@ -144,6 +163,7 @@ type AvgPool2D struct {
 	name      string
 	K, Stride int
 	inShape   []int
+	out, gx   *tensor.Tensor
 }
 
 // NewAvgPool2D constructs an average-pooling layer.
@@ -154,12 +174,18 @@ func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
 func (l *AvgPool2D) Name() string { return l.name }
 
 func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.out.Release()
 	l.inShape = append([]int(nil), x.Shape()...)
-	return tensor.AvgPool2D(x, l.K, l.Stride)
+	y := tensor.AvgPool2D(x, l.K, l.Stride)
+	l.out = y
+	return y
 }
 
 func (l *AvgPool2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
-	return tensor.AvgPool2DBackward(gy, l.inShape, l.K, l.Stride)
+	l.gx.Release()
+	gx := tensor.AvgPool2DBackward(gy, l.inShape, l.K, l.Stride)
+	l.gx = gx
+	return gx
 }
 
 func (l *AvgPool2D) Params() []*Param  { return nil }
@@ -170,6 +196,7 @@ func (l *AvgPool2D) StashBytes() int64 { return 0 }
 type GlobalAvgPool2D struct {
 	name    string
 	inShape []int
+	out, gx *tensor.Tensor
 }
 
 // NewGlobalAvgPool2D constructs a global average pooling layer.
@@ -181,8 +208,10 @@ func (l *GlobalAvgPool2D) Name() string { return l.name }
 
 func (l *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	l.out.Release()
 	l.inShape = append([]int(nil), x.Shape()...)
-	out := tensor.New(n, c)
+	out := tensor.AcquireDirty(n, c)
+	l.out = out
 	inv := 1 / float32(h*w)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {
@@ -199,7 +228,9 @@ func (l *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 func (l *GlobalAvgPool2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
-	gx := tensor.New(l.inShape...)
+	l.gx.Release()
+	gx := tensor.AcquireDirty(l.inShape...)
+	l.gx = gx
 	inv := 1 / float32(h*w)
 	for b := 0; b < n; b++ {
 		for ch := 0; ch < c; ch++ {

@@ -14,6 +14,7 @@ type Dense struct {
 	W, B     *Param
 	useBias  bool
 	x        *tensor.Tensor // cached input (feature map stash)
+	out, gx  *tensor.Tensor // previously returned buffers, recycled next call
 	origDims []int
 }
 
@@ -45,14 +46,20 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("layers: %s expects inner size %d, got shape %v", d.name, d.In, x.Shape()))
 	}
 	x2 := x.Reshape(n, d.In)
+	// Each layer owns the tensors it created and recycles them on its next
+	// call, once the previous iteration is provably consumed. The input
+	// belongs to whichever layer produced it, so it is stashed but never
+	// released here.
+	d.out.Release()
 	if train {
 		d.x = x2
 	} else {
 		d.x = nil
 	}
-	y := tensor.MatMulParallel(x2, d.W.Value)
+	y := tensor.MatMul(x2, d.W.Value)
+	d.out = y
 	if d.useBias {
-		y = tensor.AddRowBroadcast(y, d.B.Value)
+		tensor.AddRowBroadcastInPlace(y, d.B.Value)
 	}
 	// Preserve the input's leading dimensions: [..., In] -> [..., Out].
 	if len(d.origDims) > 2 {
@@ -65,13 +72,19 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 func (d *Dense) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(d.name, d.x)
+	d.gx.Release()
 	n := d.x.Dim(0)
 	g2 := gy.Reshape(n, d.Out)
-	tensor.AddInPlace(d.W.Grad, tensor.MatMulTransA(d.x, g2))
+	gw := tensor.MatMulTransA(d.x, g2)
+	tensor.AddInPlace(d.W.Grad, gw)
+	gw.Release()
 	if d.useBias {
-		tensor.AddInPlace(d.B.Grad, tensor.SumRows(g2))
+		gb := tensor.SumRows(g2)
+		tensor.AddInPlace(d.B.Grad, gb)
+		gb.Release()
 	}
 	gx := tensor.MatMulTransB(g2, d.W.Value)
+	d.gx = gx
 	return gx.Reshape(d.origDims...)
 }
 

@@ -433,3 +433,16 @@ func TestPositionalEncodingDeterministicAndPassThroughGrad(t *testing.T) {
 		t.Fatal("positional encoding backward must be identity")
 	}
 }
+
+// TestGradCheckWithParallelism reruns the core gradient checks with the
+// worker pool engaged: analytic backward must agree with finite
+// differences regardless of worker count, proving the parallel GEMM and
+// conv paths compute the same gradients as serial code.
+func TestGradCheckWithParallelism(t *testing.T) {
+	defer tensor.SetParallelism(1)
+	tensor.SetParallelism(3)
+	rng := tensor.NewRNG(31)
+	gradCheck(t, NewDense("pfc", 5, 3, rng), tensor.RandNormal(rng, 0, 1, 4, 5), 2e-2)
+	gradCheck(t, NewConv2D("pconv", 2, 3, 3, 1, 1, rng), tensor.RandNormal(rng, 0, 1, 2, 2, 5, 5), 3e-2)
+	gradCheck(t, NewBatchNorm2D("pbn", 3), tensor.RandNormal(rng, 0, 1, 2, 3, 4, 4), 3e-2)
+}

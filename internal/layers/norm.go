@@ -27,6 +27,8 @@ type BatchNorm2D struct {
 	xhat   *tensor.Tensor
 	invStd []float32
 	n      int // elements per channel in the normalized batch
+
+	out, gx *tensor.Tensor // previously returned buffers
 }
 
 // NewBatchNorm2D constructs a batch-norm layer over c channels.
@@ -53,7 +55,12 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	plane := h * w
 	m := n * plane // normalization population per channel
-	out := tensor.New(x.Shape()...)
+	l.xhat.Release()
+	l.out.Release()
+	// Every element of out (and xhat below) is stored by the loops that
+	// follow, so the buffers can come back dirty.
+	out := tensor.AcquireDirty(x.Shape()...)
+	l.out = out
 
 	if !train {
 		for ch := 0; ch < c; ch++ {
@@ -72,8 +79,12 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		return out
 	}
 
-	xhat := tensor.New(x.Shape()...)
-	invStd := make([]float32, c)
+	xhat := tensor.AcquireDirty(x.Shape()...)
+	invStd := l.invStd
+	if cap(invStd) < c {
+		invStd = make([]float32, c)
+	}
+	invStd = invStd[:c]
 	for ch := 0; ch < c; ch++ {
 		var sum, sq float64
 		for bi := 0; bi < n; bi++ {
@@ -112,10 +123,12 @@ func (l *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 func (l *BatchNorm2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(l.name, l.xhat)
+	l.gx.Release()
 	n, c := gy.Dim(0), gy.Dim(1)
 	plane := gy.Dim(2) * gy.Dim(3)
 	m := float32(l.n)
-	gx := tensor.New(gy.Shape()...)
+	gx := tensor.AcquireDirty(gy.Shape()...)
+	l.gx = gx
 	for ch := 0; ch < c; ch++ {
 		var sumG, sumGX float64
 		for bi := 0; bi < n; bi++ {
@@ -154,8 +167,9 @@ type LayerNorm struct {
 	Gamma *Param
 	Beta  *Param
 
-	xhat   *tensor.Tensor
-	invStd []float32
+	xhat    *tensor.Tensor
+	invStd  []float32
+	out, gx *tensor.Tensor
 }
 
 // NewLayerNorm constructs a layer-norm over feature size f.
@@ -175,12 +189,19 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("layers: %s expects inner size %d, got %v", l.name, f, x.Shape()))
 	}
 	rows := x.Numel() / f
-	out := tensor.New(x.Shape()...)
+	l.xhat.Release()
+	l.out.Release()
+	out := tensor.AcquireDirty(x.Shape()...)
+	l.out = out
 	var xhat *tensor.Tensor
 	var invStd []float32
 	if train {
-		xhat = tensor.New(x.Shape()...)
-		invStd = make([]float32, rows)
+		xhat = tensor.AcquireDirty(x.Shape()...)
+		invStd = l.invStd
+		if cap(invStd) < rows {
+			invStd = make([]float32, rows)
+		}
+		invStd = invStd[:rows]
 	}
 	for r := 0; r < rows; r++ {
 		src := x.Data()[r*f : (r+1)*f]
@@ -213,9 +234,11 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 func (l *LayerNorm) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(l.name, l.xhat)
+	l.gx.Release()
 	f := l.F
 	rows := gy.Numel() / f
-	gx := tensor.New(gy.Shape()...)
+	gx := tensor.AcquireDirty(gy.Shape()...)
+	l.gx = gx
 	for r := 0; r < rows; r++ {
 		g := gy.Data()[r*f : (r+1)*f]
 		xh := l.xhat.Data()[r*f : (r+1)*f]

@@ -26,10 +26,13 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 func (s *Sequential) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	// Intermediate gradients are recycled by the layers that produced
+	// them, each on its own next Backward call.
+	g := gy
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		gy = s.Layers[i].Backward(gy)
+		g = s.Layers[i].Backward(g)
 	}
-	return gy
+	return g
 }
 
 func (s *Sequential) Params() []*Param {
@@ -55,6 +58,7 @@ type Residual struct {
 	name string
 	Body Layer
 	Proj Layer // optional; nil means identity skip
+	out  *tensor.Tensor
 }
 
 // NewResidual constructs a residual block.
@@ -65,18 +69,24 @@ func NewResidual(name string, body Layer, proj Layer) *Residual {
 func (r *Residual) Name() string { return r.name }
 
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	r.out.Release()
 	y := r.Body.Forward(x, train)
 	skip := x
 	if r.Proj != nil {
 		skip = r.Proj.Forward(x, train)
 	}
-	return tensor.Add(y, skip)
+	out := tensor.Add(y, skip)
+	r.out = out
+	return out
 }
 
 func (r *Residual) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	gx := r.Body.Backward(gy)
 	if r.Proj != nil {
-		tensor.AddInPlace(gx, r.Proj.Backward(gy))
+		// The projection's gradient buffer belongs to the projection
+		// layer; it is only read here.
+		pg := r.Proj.Backward(gy)
+		tensor.AddInPlace(gx, pg)
 	} else {
 		tensor.AddInPlace(gx, gy)
 	}

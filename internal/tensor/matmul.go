@@ -2,92 +2,137 @@ package tensor
 
 import "fmt"
 
-// MatMul returns a @ b for 2-D tensors a [N, K] and b [K, M].
-// The inner loops are ordered i-k-j so the innermost loop streams through
-// contiguous rows of b and out, which matters for the conv2d im2col path.
-func MatMul(a, b *Tensor) *Tensor {
+// minGemmWork is the approximate number of multiply-adds one worker should
+// own before row-splitting a GEMM is worth the dispatch overhead.
+const minGemmWork = 1 << 15
+
+// gemmMinRows converts a per-row cost (k*m multiply-adds) into the minimum
+// rows-per-worker threshold used by parallelRows.
+func gemmMinRows(k, m int) int {
+	return 1 + minGemmWork/(k*m+1)
+}
+
+func checkMatMul(a, b *Tensor, name string, transA, transB bool) (n, k, m int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v @ %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s needs rank-2 operands, got %v, %v", name, a.shape, b.shape))
 	}
-	n, k := a.shape[0], a.shape[1]
-	k2, m := b.shape[0], b.shape[1]
+	if transA {
+		k, n = a.shape[0], a.shape[1]
+	} else {
+		n, k = a.shape[0], a.shape[1]
+	}
+	var k2 int
+	if transB {
+		m, k2 = b.shape[0], b.shape[1]
+	} else {
+		k2, m = b.shape[0], b.shape[1]
+	}
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch %v, %v", name, a.shape, b.shape))
 	}
-	out := New(n, m)
-	matmulInto(out.data, a.data, b.data, n, k, m)
+	return n, k, m
+}
+
+func checkDst(dst *Tensor, n, m int, name string) {
+	if dst.Rank() != 2 || dst.shape[0] != n || dst.shape[1] != m {
+		panic(fmt.Sprintf("tensor: %s destination %v, want [%d %d]", name, dst.shape, n, m))
+	}
+}
+
+// MatMul returns a @ b for 2-D tensors a [N, K] and b [K, M], computed with
+// the blocked kernel and row-parallel dispatch.
+func MatMul(a, b *Tensor) *Tensor {
+	n, _, m := checkMatMul(a, b, "MatMul", false, false)
+	out := Acquire(n, m)
+	matMulInto(out, a, b)
 	return out
 }
 
-func matmulInto(dst, a, b []float32, n, k, m int) {
-	for i := 0; i < n; i++ {
-		arow := a[i*k : (i+1)*k]
-		drow := dst[i*m : (i+1)*m]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b[p*m : (p+1)*m]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
+// MatMulInto computes dst = a @ b into the caller's buffer and returns dst.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	n, _, m := checkMatMul(a, b, "MatMulInto", false, false)
+	checkDst(dst, n, m, "MatMulInto")
+	dst.Zero()
+	matMulInto(dst, a, b)
+	return dst
+}
+
+func matMulInto(dst, a, b *Tensor) {
+	n, k := a.shape[0], a.shape[1]
+	m := b.shape[1]
+	// The serial path calls the kernel directly; building the dispatch
+	// closure would heap-allocate even when no worker ever runs it.
+	if rowWorkers(n, gemmMinRows(k, m)) <= 1 {
+		gemmInto(dst.data, a.data, b.data, n, k, m)
+		return
 	}
+	parallelRows(n, gemmMinRows(k, m), func(lo, hi int) {
+		gemmInto(dst.data[lo*m:hi*m], a.data[lo*k:hi*k], b.data, hi-lo, k, m)
+	})
 }
 
 // MatMulTransA returns aᵀ @ b for a [K, N] and b [K, M], producing [N, M]
 // without materializing the transpose. Used for weight gradients.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA needs rank-2 operands, got %v, %v", a.shape, b.shape))
-	}
-	k, n := a.shape[0], a.shape[1]
-	k2, m := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v, %v", a.shape, b.shape))
-	}
-	out := New(n, m)
-	for p := 0; p < k; p++ {
-		arow := a.data[p*n : (p+1)*n]
-		brow := b.data[p*m : (p+1)*m]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := out.data[i*m : (i+1)*m]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	n, _, m := checkMatMul(a, b, "MatMulTransA", true, false)
+	out := Acquire(n, m)
+	matMulTransAInto(out, a, b)
 	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b into the caller's buffer and
+// returns dst.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	n, _, m := checkMatMul(a, b, "MatMulTransAInto", true, false)
+	checkDst(dst, n, m, "MatMulTransAInto")
+	dst.Zero()
+	matMulTransAInto(dst, a, b)
+	return dst
+}
+
+func matMulTransAInto(dst, a, b *Tensor) {
+	k, n := a.shape[0], a.shape[1]
+	m := b.shape[1]
+	if rowWorkers(n, gemmMinRows(k, m)) <= 1 {
+		gemmTransASub(dst.data, a.data, b.data, n, k, m, 0, n)
+		return
+	}
+	parallelRows(n, gemmMinRows(k, m), func(lo, hi int) {
+		// Workers own output rows [lo, hi); the kernel reads column i of a
+		// as the strided a[p*n+i], so it takes the full matrices plus the
+		// row range rather than subslices.
+		gemmTransASub(dst.data, a.data, b.data, n, k, m, lo, hi)
+	})
 }
 
 // MatMulTransB returns a @ bᵀ for a [N, K] and b [M, K], producing [N, M]
 // without materializing the transpose. Used for input gradients.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB needs rank-2 operands, got %v, %v", a.shape, b.shape))
-	}
-	n, k := a.shape[0], a.shape[1]
-	m, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v, %v", a.shape, b.shape))
-	}
-	out := New(n, m)
-	for i := 0; i < n; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		drow := out.data[i*m : (i+1)*m]
-		for j := 0; j < m; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			drow[j] = s
-		}
-	}
+	n, _, m := checkMatMul(a, b, "MatMulTransB", false, true)
+	out := acquireDirty(n, m)
+	matMulTransBInto(out, a, b)
 	return out
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ into the caller's buffer and
+// returns dst.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	n, _, m := checkMatMul(a, b, "MatMulTransBInto", false, true)
+	checkDst(dst, n, m, "MatMulTransBInto")
+	matMulTransBInto(dst, a, b)
+	return dst
+}
+
+func matMulTransBInto(dst, a, b *Tensor) {
+	n, k := a.shape[0], a.shape[1]
+	m := b.shape[0]
+	if rowWorkers(n, gemmMinRows(k, m)) <= 1 {
+		gemmTransBInto(dst.data, a.data, b.data, n, k, m)
+		return
+	}
+	parallelRows(n, gemmMinRows(k, m), func(lo, hi int) {
+		gemmTransBInto(dst.data[lo*m:hi*m], a.data[lo*k:hi*k], b.data, hi-lo, k, m)
+	})
 }
 
 // MatVec returns a @ x for a [N, K] and x [K], producing [N].
@@ -101,12 +146,7 @@ func MatVec(a, x *Tensor) *Tensor {
 	}
 	out := New(n)
 	for i := 0; i < n; i++ {
-		row := a.data[i*k : (i+1)*k]
-		var s float32
-		for p, v := range row {
-			s += v * x.data[p]
-		}
-		out.data[i] = s
+		out.data[i] = dotOne(a.data[i*k:(i+1)*k], x.data)
 	}
 	return out
 }
@@ -129,7 +169,8 @@ func Outer(x, y *Tensor) *Tensor {
 }
 
 // BatchMatMul multiplies matching batches: a [B, N, K] @ b [B, K, M] ->
-// [B, N, M]. Used by attention layers.
+// [B, N, M], batches split across the worker pool. Used by attention
+// layers.
 func BatchMatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 3 || b.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: BatchMatMul needs rank-3 operands, got %v @ %v", a.shape, b.shape))
@@ -139,9 +180,20 @@ func BatchMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: BatchMatMul mismatch %v @ %v", a.shape, b.shape))
 	}
 	m := b.shape[2]
-	out := New(bb, n, m)
-	for i := 0; i < bb; i++ {
-		matmulInto(out.data[i*n*m:(i+1)*n*m], a.data[i*n*k:(i+1)*n*k], b.data[i*k*m:(i+1)*k*m], n, k, m)
+	out := Acquire(bb, n, m)
+	minBatches := 1 + gemmMinRows(k, m)/max(n, 1)
+	if rowWorkers(bb, minBatches) <= 1 {
+		batchMatMulRange(out.data, a.data, b.data, n, k, m, 0, bb)
+		return out
 	}
+	parallelRows(bb, minBatches, func(lo, hi int) {
+		batchMatMulRange(out.data, a.data, b.data, n, k, m, lo, hi)
+	})
 	return out
+}
+
+func batchMatMulRange(dst, a, b []float32, n, k, m, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		gemmInto(dst[i*n*m:(i+1)*n*m], a[i*n*k:(i+1)*n*k], b[i*k*m:(i+1)*k*m], n, k, m)
+	}
 }

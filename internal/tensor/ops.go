@@ -5,90 +5,212 @@ import (
 	"math"
 )
 
-// apply2 runs f elementwise over same-shape tensors a and b into a new
-// tensor.
-func apply2(a, b *Tensor, op string, f func(x, y float32) float32) *Tensor {
+// minElemsPerWorker is the smallest elementwise chunk worth dispatching to
+// the worker pool; below it the channel round-trip dominates.
+const minElemsPerWorker = 1 << 14
+
+// checkSame panics unless a and b share a shape.
+func checkSame(a, b *Tensor, op string) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
 	}
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = f(a.data[i], b.data[i])
+}
+
+// The binary ops are specialized loops rather than a shared closure-taking
+// helper: the indirect call per element costs more than the arithmetic,
+// and these run on every activation and gradient in training. Outputs are
+// pool-backed; large tensors are chunked across the worker pool (chunking
+// is elementwise-disjoint, so results are bit-identical to serial). Each
+// op branches on rowWorkers before building its dispatch closure so the
+// serial path — the common case for activation-sized tensors — allocates
+// nothing.
+
+func addRange(ov, av, bv []float32) {
+	for i := range ov {
+		ov[i] = av[i] + bv[i]
 	}
-	return out
+}
+
+func subRange(ov, av, bv []float32) {
+	for i := range ov {
+		ov[i] = av[i] - bv[i]
+	}
+}
+
+func mulRange(ov, av, bv []float32) {
+	for i := range ov {
+		ov[i] = av[i] * bv[i]
+	}
+}
+
+func divRange(ov, av, bv []float32) {
+	for i := range ov {
+		ov[i] = av[i] / bv[i]
+	}
 }
 
 // Add returns a + b elementwise.
 func Add(a, b *Tensor) *Tensor {
-	return apply2(a, b, "Add", func(x, y float32) float32 { return x + y })
+	checkSame(a, b, "Add")
+	out := acquireDirty(a.shape...)
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		addRange(out.data, a.data, b.data)
+		return out
+	}
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		addRange(out.data[lo:hi], a.data[lo:hi], b.data[lo:hi])
+	})
+	return out
+}
+
+// AddInto computes dst = a + b elementwise into the caller's buffer and
+// returns dst. dst may alias a or b.
+func AddInto(dst, a, b *Tensor) *Tensor {
+	checkSame(a, b, "AddInto")
+	checkSame(dst, a, "AddInto")
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		addRange(dst.data, a.data, b.data)
+		return dst
+	}
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		addRange(dst.data[lo:hi], a.data[lo:hi], b.data[lo:hi])
+	})
+	return dst
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
-	return apply2(a, b, "Sub", func(x, y float32) float32 { return x - y })
+	checkSame(a, b, "Sub")
+	out := acquireDirty(a.shape...)
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		subRange(out.data, a.data, b.data)
+		return out
+	}
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		subRange(out.data[lo:hi], a.data[lo:hi], b.data[lo:hi])
+	})
+	return out
 }
 
 // Mul returns a * b elementwise (Hadamard product).
 func Mul(a, b *Tensor) *Tensor {
-	return apply2(a, b, "Mul", func(x, y float32) float32 { return x * y })
+	checkSame(a, b, "Mul")
+	out := acquireDirty(a.shape...)
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		mulRange(out.data, a.data, b.data)
+		return out
+	}
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		mulRange(out.data[lo:hi], a.data[lo:hi], b.data[lo:hi])
+	})
+	return out
 }
 
 // Div returns a / b elementwise.
 func Div(a, b *Tensor) *Tensor {
-	return apply2(a, b, "Div", func(x, y float32) float32 { return x / y })
+	checkSame(a, b, "Div")
+	out := acquireDirty(a.shape...)
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		divRange(out.data, a.data, b.data)
+		return out
+	}
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		divRange(out.data[lo:hi], a.data[lo:hi], b.data[lo:hi])
+	})
+	return out
+}
+
+func accumRange(av, bv []float32) {
+	for i := range av {
+		av[i] += bv[i]
+	}
 }
 
 // AddInPlace accumulates b into a.
 func AddInPlace(a, b *Tensor) {
-	if !a.SameShape(b) {
-		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", a.shape, b.shape))
+	checkSame(a, b, "AddInPlace")
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		accumRange(a.data, b.data)
+		return
 	}
-	for i := range a.data {
-		a.data[i] += b.data[i]
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		accumRange(a.data[lo:hi], b.data[lo:hi])
+	})
+}
+
+func axpyRange(alpha float32, av, bv []float32) {
+	for i := range av {
+		av[i] += alpha * bv[i]
 	}
 }
 
 // AXPY computes a += alpha*b in place.
 func AXPY(alpha float32, b, a *Tensor) {
-	if !a.SameShape(b) {
-		panic(fmt.Sprintf("tensor: AXPY shape mismatch %v vs %v", a.shape, b.shape))
+	checkSame(a, b, "AXPY")
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		axpyRange(alpha, a.data, b.data)
+		return
 	}
-	for i := range a.data {
-		a.data[i] += alpha * b.data[i]
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		axpyRange(alpha, a.data[lo:hi], b.data[lo:hi])
+	})
+}
+
+func scaleRange(alpha float32, ov, av []float32) {
+	for i := range ov {
+		ov[i] = alpha * av[i]
 	}
 }
 
 // Scale returns alpha * a in a new tensor.
 func Scale(a *Tensor, alpha float32) *Tensor {
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = alpha * a.data[i]
+	out := acquireDirty(a.shape...)
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		scaleRange(alpha, out.data, a.data)
+		return out
 	}
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		scaleRange(alpha, out.data[lo:hi], a.data[lo:hi])
+	})
 	return out
 }
 
 // ScaleInPlace multiplies every element by alpha.
 func (t *Tensor) ScaleInPlace(alpha float32) {
-	for i := range t.data {
-		t.data[i] *= alpha
+	if rowWorkers(len(t.data), minElemsPerWorker) <= 1 {
+		scaleRange(alpha, t.data, t.data)
+		return
 	}
+	parallelRows(len(t.data), minElemsPerWorker, func(lo, hi int) {
+		scaleRange(alpha, t.data[lo:hi], t.data[lo:hi])
+	})
 }
 
 // AddScalar returns a + c elementwise.
 func AddScalar(a *Tensor, c float32) *Tensor {
-	out := New(a.shape...)
+	out := acquireDirty(a.shape...)
 	for i := range a.data {
 		out.data[i] = a.data[i] + c
 	}
 	return out
 }
 
+func applyRange(ov, av []float32, f func(float32) float32) {
+	for i := range ov {
+		ov[i] = f(av[i])
+	}
+}
+
 // Apply returns f mapped over a into a new tensor.
 func Apply(a *Tensor, f func(float32) float32) *Tensor {
-	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = f(a.data[i])
+	out := acquireDirty(a.shape...)
+	if rowWorkers(len(a.data), minElemsPerWorker) <= 1 {
+		applyRange(out.data, a.data, f)
+		return out
 	}
+	parallelRows(len(a.data), minElemsPerWorker, func(lo, hi int) {
+		applyRange(out.data[lo:hi], a.data[lo:hi], f)
+	})
 	return out
 }
 
@@ -99,13 +221,41 @@ func AddRowBroadcast(m, row *Tensor) *Tensor {
 	if m.Rank() < 1 || m.Numel()%f != 0 {
 		panic(fmt.Sprintf("tensor: AddRowBroadcast %v + %v", m.shape, row.shape))
 	}
-	out := m.Clone()
-	for i := 0; i < m.Numel(); i += f {
-		for j := 0; j < f; j++ {
-			out.data[i+j] += row.data[j]
+	out := acquireDirty(m.shape...)
+	copy(out.data, m.data)
+	addRowBroadcastInPlace(out, row, f)
+	return out
+}
+
+// AddRowBroadcastInPlace adds row [F] to every row of m [N, F] in place,
+// the allocation-free bias addition used by the layers package.
+func AddRowBroadcastInPlace(m, row *Tensor) {
+	f := row.Numel()
+	if m.Rank() < 1 || m.Numel()%f != 0 {
+		panic(fmt.Sprintf("tensor: AddRowBroadcastInPlace %v + %v", m.shape, row.shape))
+	}
+	addRowBroadcastInPlace(m, row, f)
+}
+
+func addRowBroadcastRange(m, row []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		mrow := m[i*f : (i+1)*f]
+		for j, v := range row {
+			mrow[j] += v
 		}
 	}
-	return out
+}
+
+func addRowBroadcastInPlace(m, row *Tensor, f int) {
+	n := m.Numel() / f
+	minRows := 1 + minElemsPerWorker/(f+1)
+	if rowWorkers(n, minRows) <= 1 {
+		addRowBroadcastRange(m.data, row.data, f, 0, n)
+		return
+	}
+	parallelRows(n, minRows, func(lo, hi int) {
+		addRowBroadcastRange(m.data, row.data, f, lo, hi)
+	})
 }
 
 // Sum returns the sum of all elements.
@@ -184,7 +334,7 @@ func SumRows(t *Tensor) *Tensor {
 	}
 	n := t.shape[0]
 	f := t.Numel() / n
-	out := New(f)
+	out := Acquire(f)
 	for i := 0; i < n; i++ {
 		row := t.data[i*f : (i+1)*f]
 		for j, v := range row {

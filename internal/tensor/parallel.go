@@ -3,97 +3,137 @@ package tensor
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Parallel execution for the heavy numeric kernels. The worker count is
-// package-global (set once at startup); 1 disables goroutine fan-out.
-// Large GEMMs and batched convolutions split across row blocks; results
-// are bit-identical to the serial path because each worker writes a
-// disjoint output region.
+// Parallel execution for the heavy numeric kernels. Work is split across a
+// persistent pool of worker goroutines fed through a channel; the pool is
+// started lazily the first time more than one worker is requested, so a
+// serial process never pays for it. Splits are always over disjoint output
+// regions (GEMM rows, im2col rows, conv batches) and every kernel's
+// per-element reduction order is independent of the split, so parallel
+// results are bit-identical to serial ones.
 
-var parallelism = 1
+// parallelism is the requested worker count. It is read on every op
+// dispatch and may be written concurrently (A3C's async actors call
+// SetParallelism), hence atomic.
+var parallelism atomic.Int32
+
+func init() { parallelism.Store(1) }
+
+// maxParallelism bounds SetParallelism. At least 8 even on smaller hosts:
+// the split is deterministic, so allowing more workers than cores is
+// harmless and keeps multi-worker code paths testable everywhere.
+func maxParallelism() int {
+	return max(runtime.NumCPU(), 8)
+}
 
 // SetParallelism sets the worker count for heavy ops (clamped to
-// [1, NumCPU]). It returns the value actually installed. Not safe to
-// call concurrently with running ops.
+// [1, max(NumCPU, 8)]) and returns the value actually installed. Safe to
+// call concurrently with running ops; in-flight dispatches may use either
+// the old or the new count, with identical results.
 func SetParallelism(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	if max := runtime.NumCPU(); n > max {
-		n = max
+	if m := maxParallelism(); n > m {
+		n = m
 	}
-	parallelism = n
+	parallelism.Store(int32(n))
 	return n
 }
 
 // Parallelism returns the current worker count.
-func Parallelism() int { return parallelism }
+func Parallelism() int { return int(parallelism.Load()) }
+
+// rowTask is one contiguous block of rows for a worker to run.
+type rowTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	workMu      sync.Mutex
+	workCh      chan rowTask
+	workStarted int
+)
+
+// ensureWorkers makes sure at least want worker goroutines are draining
+// workCh. Workers are never torn down; an idle worker costs only a parked
+// goroutine.
+func ensureWorkers(want int) chan rowTask {
+	workMu.Lock()
+	defer workMu.Unlock()
+	if workCh == nil {
+		workCh = make(chan rowTask, 4*maxParallelism())
+	}
+	for workStarted < want {
+		workStarted++
+		go func() {
+			for t := range workCh {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+	return workCh
+}
+
+// rowWorkers reports how many workers parallelRows would use for n units
+// of work with the given per-worker minimum. Hot call sites branch on it
+// before building the dispatch closure: a closure handed to parallelRows
+// escapes to the worker channel, so merely constructing one heap-allocates,
+// and the serial path should instead call its kernel directly.
+func rowWorkers(n, minRowsPerWorker int) int {
+	if minRowsPerWorker < 1 {
+		minRowsPerWorker = 1
+	}
+	workers := Parallelism()
+	if w := n / minRowsPerWorker; workers > w {
+		workers = w
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
 
 // parallelRows splits [0, n) into contiguous blocks and runs fn(lo, hi)
-// on each, in parallel when the work is large enough to amortize the
-// goroutine overhead.
+// on each, in parallel when the work is large enough to amortize dispatch.
+// The first block always runs on the calling goroutine, and submission is
+// non-blocking (a full queue degrades to inline execution), so nested
+// parallel ops cannot deadlock the pool.
 func parallelRows(n int, minRowsPerWorker int, fn func(lo, hi int)) {
-	workers := parallelism
-	if workers > n/minRowsPerWorker {
-		workers = n / minRowsPerWorker
-	}
+	workers := rowWorkers(n, minRowsPerWorker)
 	if workers <= 1 {
 		fn(0, n)
 		return
 	}
-	var wg sync.WaitGroup
+	ch := ensureWorkers(workers - 1)
 	block := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += block {
-		hi := lo + block
-		if hi > n {
-			hi = n
-		}
+	var wg sync.WaitGroup
+	for lo := block; lo < n; lo += block {
+		hi := min(lo+block, n)
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		select {
+		case ch <- rowTask{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
 			fn(lo, hi)
-		}(lo, hi)
+			wg.Done()
+		}
 	}
+	fn(0, min(block, n))
 	wg.Wait()
 }
 
-// MatMulParallel is MatMul with row-block parallelism. With parallelism 1
-// (the default) it is exactly MatMul.
-func MatMulParallel(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 || a.shape[1] != b.shape[0] {
-		// Reuse MatMul's validation panics.
-		return MatMul(a, b)
-	}
-	n, k := a.shape[0], a.shape[1]
-	m := b.shape[1]
-	out := New(n, m)
-	parallelRows(n, 8, func(lo, hi int) {
-		matmulInto(out.data[lo*m:hi*m], a.data[lo*k:hi*k], b.data, hi-lo, k, m)
-	})
-	return out
-}
+// MatMulParallel is MatMul with row-block parallelism. MatMul itself now
+// dispatches through the worker pool, so this is an alias kept for
+// callers that want the intent in the name.
+func MatMulParallel(a, b *Tensor) *Tensor { return MatMul(a, b) }
 
-// Conv2DParallel is Conv2D with the batch dimension split across
-// workers.
+// Conv2DParallel is Conv2D, which now splits its im2col lowering and
+// output reordering across the worker pool. Kept for API compatibility.
 func Conv2DParallel(x, w *Tensor, stride, pad int) *Tensor {
-	if x.Rank() != 4 || w.Rank() != 4 || x.shape[1] != w.shape[1] {
-		return Conv2D(x, w, stride, pad) // reuse validation
-	}
-	n := x.shape[0]
-	if parallelism <= 1 || n < 2 {
-		return Conv2D(x, w, stride, pad)
-	}
-	c, h, wid := x.shape[1], x.shape[2], x.shape[3]
-	f, kh, kw := w.shape[0], w.shape[2], w.shape[3]
-	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wid, kw, stride, pad)
-	out := New(n, f, oh, ow)
-	per := c * h * wid
-	outPer := f * oh * ow
-	parallelRows(n, 1, func(lo, hi int) {
-		sub := FromSlice(x.data[lo*per:hi*per], hi-lo, c, h, wid)
-		y := Conv2D(sub, w, stride, pad)
-		copy(out.data[lo*outPer:hi*outPer], y.data)
-	})
-	return out
+	return Conv2D(x, w, stride, pad)
 }

@@ -10,11 +10,14 @@ func TestSetParallelismClamps(t *testing.T) {
 	if got := SetParallelism(0); got != 1 {
 		t.Fatalf("SetParallelism(0) = %d", got)
 	}
-	if got := SetParallelism(1 << 20); got != runtime.NumCPU() {
-		t.Fatalf("SetParallelism(huge) = %d, want NumCPU", got)
+	if got := SetParallelism(1 << 20); got != maxParallelism() {
+		t.Fatalf("SetParallelism(huge) = %d, want %d", got, maxParallelism())
 	}
-	if Parallelism() != runtime.NumCPU() {
+	if Parallelism() != maxParallelism() {
 		t.Fatal("Parallelism() did not reflect the setting")
+	}
+	if maxParallelism() < runtime.NumCPU() || maxParallelism() < 8 {
+		t.Fatalf("maxParallelism() = %d, want >= max(NumCPU, 8)", maxParallelism())
 	}
 }
 
@@ -71,6 +74,143 @@ func TestParallelRowsCoversRange(t *testing.T) {
 	if count != 3 {
 		t.Fatalf("small range covered %d rows", count)
 	}
+}
+
+// withWorkers runs f once per worker count, restoring serial mode after.
+func withWorkers(t *testing.T, counts []int, f func(workers int)) {
+	t.Helper()
+	defer SetParallelism(1)
+	for _, w := range counts {
+		SetParallelism(w)
+		f(w)
+	}
+}
+
+// TestTransposeGEMMsParallelMatchSerial pins bit-identical parallel
+// dispatch for the two transpose GEMMs across edge shapes: N=1 (no split
+// possible), K=1 (remainder loop only), and block-size non-divisible dims.
+func TestTransposeGEMMsParallelMatchSerial(t *testing.T) {
+	rng := NewRNG(21)
+	shapes := [][3]int{{1, 9, 7}, {6, 1, 5}, {67, 13, 5}, {33, 129, 17}, {16, 8, 1}}
+	for _, s := range shapes {
+		n, k, m := s[0], s[1], s[2]
+		at := RandNormal(rng, 0, 1, k, n)
+		a := RandNormal(rng, 0, 1, n, k)
+		b := RandNormal(rng, 0, 1, k, m)
+		bt := RandNormal(rng, 0, 1, m, k)
+		SetParallelism(1)
+		wantA := MatMulTransA(at, b)
+		wantB := MatMulTransB(a, bt)
+		withWorkers(t, []int{2, 3, 5}, func(workers int) {
+			if !Equal(MatMulTransA(at, b), wantA, 0) {
+				t.Fatalf("MatMulTransA %v: %d workers differ from serial", s, workers)
+			}
+			if !Equal(MatMulTransB(a, bt), wantB, 0) {
+				t.Fatalf("MatMulTransB %v: %d workers differ from serial", s, workers)
+			}
+		})
+	}
+}
+
+// TestIm2ColCol2ImParallelMatchSerial covers the conv lowering pair across
+// padding/stride combinations, including zero-pad and batch-of-one.
+func TestIm2ColCol2ImParallelMatchSerial(t *testing.T) {
+	rng := NewRNG(22)
+	cases := []struct{ n, c, h, w, kh, kw, stride, pad int }{
+		{1, 1, 5, 5, 3, 3, 1, 0},
+		{2, 3, 9, 7, 3, 3, 1, 1},
+		{4, 2, 8, 8, 2, 2, 2, 0},
+		{3, 5, 11, 11, 5, 5, 2, 2},
+		{7, 1, 6, 6, 3, 1, 1, 1},
+	}
+	for _, cse := range cases {
+		x := RandNormal(rng, 0, 1, cse.n, cse.c, cse.h, cse.w)
+		SetParallelism(1)
+		wantCols := Im2Col(x, cse.kh, cse.kw, cse.stride, cse.pad)
+		grad := RandNormal(rng, 0, 1, wantCols.Shape()...)
+		wantIm := Col2Im(grad, cse.n, cse.c, cse.h, cse.w, cse.kh, cse.kw, cse.stride, cse.pad)
+		withWorkers(t, []int{2, 3, 5}, func(workers int) {
+			if !Equal(Im2Col(x, cse.kh, cse.kw, cse.stride, cse.pad), wantCols, 0) {
+				t.Fatalf("Im2Col %+v: %d workers differ from serial", cse, workers)
+			}
+			got := Col2Im(grad, cse.n, cse.c, cse.h, cse.w, cse.kh, cse.kw, cse.stride, cse.pad)
+			if !Equal(got, wantIm, 0) {
+				t.Fatalf("Col2Im %+v: %d workers differ from serial", cse, workers)
+			}
+		})
+	}
+}
+
+// TestElementwiseParallelMatchesSerial pins the chunked elementwise ops.
+func TestElementwiseParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(23)
+	n := 3 * minElemsPerWorker // forces multi-chunk dispatch
+	a := RandNormal(rng, 0, 1, n)
+	b := RandNormal(rng, 1, 1, n)
+	SetParallelism(1)
+	wantAdd, wantMul, wantDiv := Add(a, b), Mul(a, b), Div(a, b)
+	acc := a.Clone()
+	AXPY(0.5, b, acc)
+	withWorkers(t, []int{2, 5}, func(workers int) {
+		if !Equal(Add(a, b), wantAdd, 0) || !Equal(Mul(a, b), wantMul, 0) || !Equal(Div(a, b), wantDiv, 0) {
+			t.Fatalf("elementwise op differs at %d workers", workers)
+		}
+		acc2 := a.Clone()
+		AXPY(0.5, b, acc2)
+		if !Equal(acc2, acc, 0) {
+			t.Fatalf("AXPY differs at %d workers", workers)
+		}
+	})
+}
+
+// TestBatchMatMulParallelMatchesSerial covers the batch split.
+func TestBatchMatMulParallelMatchesSerial(t *testing.T) {
+	rng := NewRNG(24)
+	a := RandNormal(rng, 0, 1, 5, 7, 11)
+	b := RandNormal(rng, 0, 1, 5, 11, 3)
+	SetParallelism(1)
+	want := BatchMatMul(a, b)
+	withWorkers(t, []int{2, 4}, func(workers int) {
+		if !Equal(BatchMatMul(a, b), want, 0) {
+			t.Fatalf("BatchMatMul differs at %d workers", workers)
+		}
+	})
+}
+
+// TestSetParallelismConcurrentWithOps is the -race regression for the old
+// package-global worker count: hammer SetParallelism while GEMMs run and
+// verify results stay bit-identical to serial.
+func TestSetParallelismConcurrentWithOps(t *testing.T) {
+	defer SetParallelism(1)
+	rng := NewRNG(25)
+	a := RandNormal(rng, 0, 1, 40, 30)
+	b := RandNormal(rng, 0, 1, 30, 20)
+	want := MatMul(a, b)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w := 1
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				SetParallelism(1 + w%4)
+				w++
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if got := MatMulParallel(a, b); !Equal(got, want, 0) {
+			close(stop)
+			<-done
+			t.Fatalf("MatMul under concurrent SetParallelism differs at iter %d", i)
+		}
+	}
+	close(stop)
+	<-done
 }
 
 func BenchmarkMatMulParallelSpeedup(b *testing.B) {

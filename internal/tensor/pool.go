@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// A Pool is a size-bucketed free list of tensor buffers. Training loops
+// allocate the same tensor shapes every iteration (activations, gradient
+// buffers, im2col workspaces), so recycling buffers turns a GC-bound
+// steady state into a near-zero-allocation one — the host-side analogue
+// of the framework memory arenas the paper's profiler observes.
+//
+// Buffers enter the pool only through an explicit Release; Get hands them
+// back out zero-filled, so pooled allocation is semantically identical to
+// New. The pool is safe for concurrent use (A3C's async actors share it).
+type Pool struct {
+	mu sync.Mutex
+	// buckets[k] holds free tensors whose backing capacity is in
+	// [2^k, 2^(k+1)), so any bucket entry satisfies a request with
+	// ceilBucket(n) == k.
+	buckets  [33][]*Tensor
+	disabled atomic.Bool
+
+	gets, hits, puts atomic.Uint64
+}
+
+// poolBucketCap bounds the free tensors retained per size class so a
+// burst of odd shapes cannot pin memory forever.
+const poolBucketCap = 128
+
+// ceilBucket returns the smallest k with n <= 2^k.
+func ceilBucket(n int) int { return bits.Len(uint(n - 1)) }
+
+// Get returns a zero-filled tensor of the given shape, reusing a released
+// buffer when one of sufficient capacity is available.
+func (p *Pool) Get(shape ...int) *Tensor { return p.get(shape, true) }
+
+// get implements Get; zero=false skips the clear for callers that fully
+// overwrite the buffer (a recycled buffer holds stale values otherwise).
+func (p *Pool) get(shape []int, zero bool) *Tensor {
+	n := checkShape(shape)
+	p.gets.Add(1)
+	if p.disabled.Load() || n == 0 {
+		return New(shape...)
+	}
+	var t *Tensor
+	b := ceilBucket(n)
+	p.mu.Lock()
+	for k := b; k < len(p.buckets) && t == nil; k++ {
+		if l := p.buckets[k]; len(l) > 0 {
+			t = l[len(l)-1]
+			l[len(l)-1] = nil
+			p.buckets[k] = l[:len(l)-1]
+		}
+	}
+	p.mu.Unlock()
+	if t == nil {
+		// Round the backing array up to the bucket size so the buffer's
+		// capacity class matches the bucket any same-size request scans
+		// first; without this, odd-sized buffers land one bucket below
+		// where Get looks and are never reused.
+		buf := make([]float32, n, 1<<uint(b))
+		// cap 4 covers NCHW, the highest-rank shape in the codebase, so
+		// later reuse at a different rank never regrows the shape slice.
+		return &Tensor{shape: append(make([]int, 0, 4), shape...), data: buf, pooled: true}
+	}
+	p.hits.Add(1)
+	t.shape = append(t.shape[:0], shape...)
+	t.data = t.data[:cap(t.data)][:n]
+	if zero {
+		clear(t.data)
+	}
+	t.pooled = true
+	return t
+}
+
+// put returns t's buffer to the free list. Only tensors handed out by Get
+// are accepted; the pooled flag makes a second release of the same tensor
+// a no-op, so shared references (two layers stashing the same activation)
+// cannot double-free.
+func (p *Pool) put(t *Tensor) {
+	if t == nil || !t.pooled {
+		return
+	}
+	t.pooled = false
+	if p.disabled.Load() || cap(t.data) == 0 {
+		return
+	}
+	b := bits.Len(uint(cap(t.data))) - 1
+	p.mu.Lock()
+	if len(p.buckets[b]) < poolBucketCap {
+		p.buckets[b] = append(p.buckets[b], t)
+		p.puts.Add(1)
+	}
+	p.mu.Unlock()
+}
+
+// drain discards every retained buffer.
+func (p *Pool) drain() {
+	p.mu.Lock()
+	for i := range p.buckets {
+		p.buckets[i] = nil
+	}
+	p.mu.Unlock()
+}
+
+// defaultPool backs Acquire/Release; pooling is enabled by default.
+var defaultPool Pool
+
+// Acquire returns a zero-filled tensor of the given shape from the shared
+// buffer pool. It is interchangeable with New; callers that know when the
+// tensor is dead can Release it so the next Acquire of a similar size
+// reuses the buffer instead of allocating.
+func Acquire(shape ...int) *Tensor { return defaultPool.Get(shape...) }
+
+// AcquireDirty is Acquire without the zero-fill guarantee: the returned
+// buffer holds arbitrary stale values and the caller must store every
+// element. Kernels that fully overwrite their output (normalizations,
+// activations, pointwise backwards) use it to skip the memclr that
+// dominates Acquire on large recycled buffers.
+func AcquireDirty(shape ...int) *Tensor { return defaultPool.get(shape, false) }
+
+// acquireDirty is the package-internal spelling of AcquireDirty.
+func acquireDirty(shape ...int) *Tensor { return defaultPool.get(shape, false) }
+
+// Release returns t's buffer to the shared pool. It is a no-op on nil
+// tensors, tensors not obtained from Acquire, and tensors already
+// released, so callers may release defensively. Reshape views never carry
+// pool ownership; releasing one is a no-op.
+//
+// Releasing a tensor that is still referenced elsewhere is a
+// use-after-free bug: the buffer will be handed out, zeroed, and
+// overwritten by an unrelated op.
+func (t *Tensor) Release() { defaultPool.put(t) }
+
+// SetPooling enables or disables the shared buffer pool and reports the
+// previous setting. Disabling also drops all retained buffers; Acquire
+// then degenerates to New and Release to a no-op, which is useful for
+// allocation-profiling comparisons.
+func SetPooling(on bool) bool {
+	prev := !defaultPool.disabled.Load()
+	defaultPool.disabled.Store(!on)
+	if !on {
+		defaultPool.drain()
+	}
+	return prev
+}
+
+// PoolingEnabled reports whether the shared buffer pool is active.
+func PoolingEnabled() bool { return !defaultPool.disabled.Load() }
+
+// PoolStats reports cumulative Acquire calls, Acquire calls served from
+// the free list, and buffers accepted back by Release.
+func PoolStats() (gets, hits, puts uint64) {
+	return defaultPool.gets.Load(), defaultPool.hits.Load(), defaultPool.puts.Load()
+}
+
+// Aliases reports whether a and b share backing storage. Reshape produces
+// views over the same array, so pointer identity of the first element is
+// the aliasing test; empty or nil tensors alias only themselves.
+func Aliases(a, b *Tensor) bool {
+	if a == nil || b == nil || len(a.data) == 0 || len(b.data) == 0 {
+		return a == b
+	}
+	return &a.data[0] == &b.data[0]
+}

@@ -249,3 +249,22 @@ func TestPropPoolBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestPropMatMulIntoMatchesMatMul(t *testing.T) {
+	f := func(vals []float32) bool {
+		v := boundedVec(vals, 12)
+		n, k, m := 3, 2, 2
+		a := FromSlice(v[:n*k], n, k)
+		b := FromSlice(v[n*k:n*k+k*m], k, m)
+		want := MatMul(a, b)
+		// A recycled, dirty pooled destination must give identical bits.
+		dst := Acquire(n, m)
+		dst.Fill(123)
+		dst.Release()
+		got := MatMulInto(Acquire(n, m), a, b)
+		return Equal(got, want, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

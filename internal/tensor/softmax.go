@@ -13,11 +13,22 @@ func SoftmaxRows(t *Tensor) *Tensor {
 	}
 	n := t.shape[0]
 	f := t.Numel() / n
-	out := New(t.shape...)
-	for i := 0; i < n; i++ {
-		softmaxRow(out.data[i*f:(i+1)*f], t.data[i*f:(i+1)*f])
+	out := acquireDirty(t.shape...)
+	minRows := 1 + minElemsPerWorker/(f+1)
+	if rowWorkers(n, minRows) <= 1 {
+		softmaxRange(out.data, t.data, f, 0, n)
+		return out
 	}
+	parallelRows(n, minRows, func(lo, hi int) {
+		softmaxRange(out.data, t.data, f, lo, hi)
+	})
 	return out
+}
+
+func softmaxRange(dst, src []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		softmaxRow(dst[i*f:(i+1)*f], src[i*f:(i+1)*f])
+	}
 }
 
 func softmaxRow(dst, src []float32) {
@@ -43,26 +54,37 @@ func softmaxRow(dst, src []float32) {
 func LogSoftmaxRows(t *Tensor) *Tensor {
 	n := t.shape[0]
 	f := t.Numel() / n
-	out := New(t.shape...)
-	for i := 0; i < n; i++ {
-		src := t.data[i*f : (i+1)*f]
-		dst := out.data[i*f : (i+1)*f]
+	out := acquireDirty(t.shape...)
+	minRows := 1 + minElemsPerWorker/(f+1)
+	if rowWorkers(n, minRows) <= 1 {
+		logSoftmaxRange(out.data, t.data, f, 0, n)
+		return out
+	}
+	parallelRows(n, minRows, func(lo, hi int) {
+		logSoftmaxRange(out.data, t.data, f, lo, hi)
+	})
+	return out
+}
+
+func logSoftmaxRange(dst, src []float32, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := src[i*f : (i+1)*f]
+		d := dst[i*f : (i+1)*f]
 		m := float32(math.Inf(-1))
-		for _, v := range src {
+		for _, v := range s {
 			if v > m {
 				m = v
 			}
 		}
 		var sum float64
-		for _, v := range src {
+		for _, v := range s {
 			sum += math.Exp(float64(v - m))
 		}
 		lse := m + float32(math.Log(sum))
-		for j, v := range src {
-			dst[j] = v - lse
+		for j, v := range s {
+			d[j] = v - lse
 		}
 	}
-	return out
 }
 
 // CrossEntropy computes the mean negative log-likelihood of integer labels
@@ -125,6 +147,7 @@ func CrossEntropyLS(logits *Tensor, labels []int, eps float32) (loss float32, gr
 			grad.data[i*f+j] -= target
 		}
 	}
+	logp.Release()
 	grad.ScaleInPlace(1 / float32(n))
 	return float32(total / float64(n)), grad
 }

@@ -16,6 +16,10 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float32
+	// pooled marks a tensor currently owned by the buffer pool's caller;
+	// Release clears it, making double-release a no-op. Views (Reshape)
+	// and plain New tensors never carry it.
+	pooled bool
 }
 
 // New returns a zero-filled tensor of the given shape. A tensor with no
@@ -134,6 +138,20 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	}
 	if known != len(t.data) {
 		panic(fmt.Sprintf("tensor: Reshape %v incompatible with %d elements", shape, len(t.data)))
+	}
+	// A no-op reshape returns the tensor itself so pool ownership (and the
+	// ability to Release) survives shape-normalization call sites.
+	if len(out) == len(t.shape) {
+		same := true
+		for i := range out {
+			if out[i] != t.shape[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
 	}
 	return &Tensor{shape: out, data: t.data}
 }

@@ -255,9 +255,15 @@ func ScalingStudy(model, fw string, perGPUBatches []int) ([]ScalingResult, error
 }
 
 // SetEngineParallelism sets the numeric engine's worker count for heavy
-// kernels (GEMM, convolution). It returns the installed value, clamped to
-// [1, NumCPU].
+// kernels (GEMM, convolution, elementwise batches). It returns the
+// installed value, clamped to [1, max(NumCPU, 8)]; results are
+// bit-identical for any worker count.
 func SetEngineParallelism(n int) int { return tensor.SetParallelism(n) }
+
+// SetEnginePooling enables or disables the numeric engine's tensor buffer
+// pool (on by default) and reports the previous setting. Disabling is
+// useful for allocation-profiling comparisons.
+func SetEnginePooling(on bool) bool { return tensor.SetPooling(on) }
 
 // WorkspaceTradeoffRow is one point of the workspace-budget sweep.
 type WorkspaceTradeoffRow struct {
