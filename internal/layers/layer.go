@@ -35,14 +35,30 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // Layer is a differentiable network stage. Forward may cache activations
 // when train is true; Backward consumes the most recent cached forward
 // state and returns the gradient with respect to the layer input.
+//
+// # Buffer lifetime
+//
+// Layers recycle the pool-backed tensors they return: the output of
+// Forward is valid only until the layer's next Forward call, and the
+// gradient returned by Backward only until its next Backward call, at
+// which point the layer Releases the old buffer back to the tensor pool
+// and it may be reused (zeroed and overwritten) by any subsequent op.
+// Callers that need a layer result beyond one step — logits kept across
+// iterations, activations stashed for later inspection — must Clone it.
+// Retaining a stale reference yields silently corrupted data, not an
+// error. tensor.SetDebugPoisonReleased(true) makes such use-after-release
+// bugs loud in tests by filling released buffers with NaN.
 type Layer interface {
 	// Name returns a stable human-readable identifier.
 	Name() string
-	// Forward computes the layer output for x.
+	// Forward computes the layer output for x. The returned tensor is
+	// owned by the layer and recycled on its next Forward call; Clone it
+	// to keep it longer (see "Buffer lifetime" above).
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	// Backward propagates the upstream gradient gy and accumulates
 	// parameter gradients. It must be called after a Forward with
-	// train=true.
+	// train=true. The returned gradient is owned by the layer and
+	// recycled on its next Backward call (see "Buffer lifetime" above).
 	Backward(gy *tensor.Tensor) *tensor.Tensor
 	// Params returns the trainable parameters (possibly empty).
 	Params() []*Param

@@ -82,10 +82,16 @@ func im2colRange(dst, x []float32, c, h, w, oh, ow, kh, kw, stride, pad, rlo, rh
 			}
 			srow := plane[iy*w : (iy+1)*w]
 			if stride == 1 {
+				// Valid taps satisfy 0 <= ox+off < w; a kernel wider than
+				// the padded input makes that range empty (lo > ow or
+				// hi < 0), so both bounds are clamped into [0, ow].
 				off := kx - pad // ix = ox + off
 				lo, hi := 0, ow
 				if off < 0 {
 					lo = -off
+					if lo > ow {
+						lo = ow
+					}
 				}
 				if ow+off > w {
 					hi = w - off
@@ -96,7 +102,9 @@ func im2colRange(dst, x []float32, c, h, w, oh, ow, kh, kw, stride, pad, rlo, rh
 				for t := 0; t < lo; t++ {
 					d[t] = 0
 				}
-				copy(d[lo:hi], srow[lo+off:hi+off])
+				if hi > lo {
+					copy(d[lo:hi], srow[lo+off:hi+off])
+				}
 				for t := hi; t < ow; t++ {
 					d[t] = 0
 				}
@@ -156,10 +164,15 @@ func col2imRange(out, cols []float32, c, h, w, kh, kw, stride, pad, blo, bhi int
 				}
 				s := srow[oy*ow : (oy+1)*ow]
 				if stride == 1 {
+					// Same clamping as im2colRange: a kernel wider than the
+					// padded input leaves no valid taps for this (ky, kx).
 					off := kx - pad
 					lo, hi := 0, ow
 					if off < 0 {
 						lo = -off
+						if lo > ow {
+							lo = ow
+						}
 					}
 					if ow+off > w {
 						hi = w - off
@@ -167,12 +180,14 @@ func col2imRange(out, cols []float32, c, h, w, kh, kw, stride, pad, blo, bhi int
 					if hi < lo {
 						hi = lo
 					}
-					// Align both spans so the single range check covers the
-					// load and the store.
-					sv := s[lo:hi]
-					d := plane[iy*w+lo+off : iy*w+hi+off][:len(sv)]
-					for t := range sv {
-						d[t] += sv[t]
+					if hi > lo {
+						// Align both spans so the single range check covers
+						// the load and the store.
+						sv := s[lo:hi]
+						d := plane[iy*w+lo+off : iy*w+hi+off][:len(sv)]
+						for t := range sv {
+							d[t] += sv[t]
+						}
 					}
 					continue
 				}

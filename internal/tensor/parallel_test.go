@@ -122,6 +122,11 @@ func TestIm2ColCol2ImParallelMatchSerial(t *testing.T) {
 		{4, 2, 8, 8, 2, 2, 2, 0},
 		{3, 5, 11, 11, 5, 5, 2, 2},
 		{7, 1, 6, 6, 3, 1, 1, 1},
+		// Kernel wider than the padded input (k > w+pad): the stride-1
+		// fast path must clamp its copy span instead of panicking.
+		{1, 1, 1, 1, 5, 5, 1, 2},
+		{2, 2, 3, 1, 3, 5, 1, 2},
+		{2, 2, 1, 3, 5, 3, 1, 2},
 	}
 	for _, cse := range cases {
 		x := RandNormal(rng, 0, 1, cse.n, cse.c, cse.h, cse.w)
@@ -136,6 +141,99 @@ func TestIm2ColCol2ImParallelMatchSerial(t *testing.T) {
 			got := Col2Im(grad, cse.n, cse.c, cse.h, cse.w, cse.kh, cse.kw, cse.stride, cse.pad)
 			if !Equal(got, wantIm, 0) {
 				t.Fatalf("Col2Im %+v: %d workers differ from serial", cse, workers)
+			}
+		})
+	}
+}
+
+// naiveIm2Col is the obviously-correct per-element reference for Im2Col,
+// used to check the stride-1 fast path's border clamping.
+func naiveIm2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	out := New(n, c*kh*kw, oh*ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					row := (ch*kh+ky)*kw + kx
+					for oy := 0; oy < oh; oy++ {
+						for ox := 0; ox < ow; ox++ {
+							iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								out.Set(x.At(b, ch, iy, ix), b, row, oy*ow+ox)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// naiveCol2Im is the per-element scatter-add reference for Col2Im; it
+// accumulates in the same (colIdx, oy, ox) order as col2imRange, so the
+// comparison can be exact.
+func naiveCol2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	out := New(n, c, h, w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					row := (ch*kh+ky)*kw + kx
+					for oy := 0; oy < oh; oy++ {
+						for ox := 0; ox < ow; ox++ {
+							iy, ix := oy*stride+ky-pad, ox*stride+kx-pad
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								out.Set(out.At(b, ch, iy, ix)+cols.At(b, row, oy*ow+ox), b, ch, iy, ix)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestConvLoweringWideKernel pins the kernel-wider-than-padded-input
+// shapes (k > w+pad+1 and k > h+pad+1) that the stride-1 fast paths must
+// clamp: im2col/col2im against the naive reference, and Conv2D
+// forward+backward parallel against serial. The seed's generic loops
+// handled these shapes; the fast paths must keep handling them.
+func TestConvLoweringWideKernel(t *testing.T) {
+	rng := NewRNG(26)
+	cases := []struct{ n, c, h, w, kh, kw, stride, pad int }{
+		{1, 1, 1, 1, 5, 5, 1, 2},
+		{2, 2, 3, 1, 3, 5, 1, 2},
+		{2, 2, 1, 3, 5, 3, 1, 2},
+		{1, 3, 2, 2, 5, 5, 1, 2},
+	}
+	for _, cse := range cases {
+		x := RandNormal(rng, 0, 1, cse.n, cse.c, cse.h, cse.w)
+		wt := RandNormal(rng, 0, 0.5, 2, cse.c, cse.kh, cse.kw)
+		SetParallelism(1)
+		cols := Im2Col(x, cse.kh, cse.kw, cse.stride, cse.pad)
+		if !Equal(cols, naiveIm2Col(x, cse.kh, cse.kw, cse.stride, cse.pad), 0) {
+			t.Fatalf("Im2Col %+v differs from naive reference", cse)
+		}
+		grad := RandNormal(rng, 0, 1, cols.Shape()...)
+		im := Col2Im(grad, cse.n, cse.c, cse.h, cse.w, cse.kh, cse.kw, cse.stride, cse.pad)
+		if !Equal(im, naiveCol2Im(grad, cse.n, cse.c, cse.h, cse.w, cse.kh, cse.kw, cse.stride, cse.pad), 0) {
+			t.Fatalf("Col2Im %+v differs from naive reference", cse)
+		}
+		y := Conv2D(x, wt, cse.stride, cse.pad)
+		gy := RandNormal(rng, 0, 1, y.Shape()...)
+		gx, gw := Conv2DBackward(x, wt, gy, cse.stride, cse.pad)
+		withWorkers(t, []int{2, 3}, func(workers int) {
+			if !Equal(Conv2D(x, wt, cse.stride, cse.pad), y, 0) {
+				t.Fatalf("Conv2D %+v: %d workers differ from serial", cse, workers)
+			}
+			gx2, gw2 := Conv2DBackward(x, wt, gy, cse.stride, cse.pad)
+			if !Equal(gx2, gx, 0) || !Equal(gw2, gw, 0) {
+				t.Fatalf("Conv2DBackward %+v: %d workers differ from serial", cse, workers)
 			}
 		})
 	}

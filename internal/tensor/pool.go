@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -85,10 +86,21 @@ func (p *Pool) put(t *Tensor) {
 		return
 	}
 	t.pooled = false
+	if debugPoison.Load() {
+		nan := float32(math.NaN())
+		for i := range t.data {
+			t.data[i] = nan
+		}
+	}
 	if p.disabled.Load() || cap(t.data) == 0 {
 		return
 	}
 	b := bits.Len(uint(cap(t.data))) - 1
+	if b >= len(p.buckets) {
+		// A buffer too large for any size class is dropped rather than
+		// retained (or worse, indexed out of bounds).
+		return
+	}
 	p.mu.Lock()
 	if len(p.buckets[b]) < poolBucketCap {
 		p.buckets[b] = append(p.buckets[b], t)
@@ -150,6 +162,22 @@ func SetPooling(on bool) bool {
 
 // PoolingEnabled reports whether the shared buffer pool is active.
 func PoolingEnabled() bool { return !defaultPool.disabled.Load() }
+
+// debugPoison, when set, makes every Release fill the buffer with NaN
+// before recycling it.
+var debugPoison atomic.Bool
+
+// SetDebugPoisonReleased enables or disables release-time buffer
+// poisoning and reports the previous setting. With poisoning on, any
+// caller that retains a tensor past its release — e.g. keeping a layer
+// output across training steps, which the recycling contract forbids
+// (see layers.Layer) — reads NaNs instead of silently stale or
+// overwritten data, so use-after-release bugs surface immediately in
+// tests. Poisoning is off by default; it costs a full write of every
+// released buffer.
+func SetDebugPoisonReleased(on bool) bool {
+	return debugPoison.Swap(on)
+}
 
 // PoolStats reports cumulative Acquire calls, Acquire calls served from
 // the free list, and buffers accepted back by Release.

@@ -1,0 +1,65 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoolReusesReleasedBuffer pins the basic recycle path: a released
+// buffer backs the next same-size Acquire, zero-filled.
+func TestPoolReusesReleasedBuffer(t *testing.T) {
+	a := Acquire(4, 8)
+	a.Fill(7)
+	d := &a.Data()[0]
+	a.Release()
+	b := Acquire(4, 8)
+	defer b.Release()
+	if &b.Data()[0] != d {
+		t.Fatal("same-size Acquire after Release did not reuse the buffer")
+	}
+	for _, v := range b.Data() {
+		if v != 0 {
+			t.Fatal("recycled buffer not zero-filled")
+		}
+	}
+}
+
+// TestPoolDoubleReleaseIsNoOp pins the pooled-flag guard against
+// double-free.
+func TestPoolDoubleReleaseIsNoOp(t *testing.T) {
+	a := Acquire(16)
+	a.Release()
+	a.Release() // must not panic or re-insert
+	b := Acquire(16)
+	c := Acquire(16)
+	if Aliases(b, c) {
+		t.Fatal("double release handed the same buffer out twice")
+	}
+	b.Release()
+	c.Release()
+}
+
+// TestDebugPoisonReleased verifies that with poisoning on, a reference
+// retained past Release reads NaN — the loud form of the recycling
+// contract's use-after-release bug.
+func TestDebugPoisonReleased(t *testing.T) {
+	prev := SetDebugPoisonReleased(true)
+	defer SetDebugPoisonReleased(prev)
+	a := Acquire(5)
+	a.Fill(3)
+	stale := a.Data()
+	a.Release()
+	for i, v := range stale {
+		if !math.IsNaN(float64(v)) {
+			t.Fatalf("released buffer element %d = %v, want NaN poison", i, v)
+		}
+	}
+	// A fresh Acquire of the poisoned buffer must still come back zeroed.
+	b := Acquire(5)
+	defer b.Release()
+	for _, v := range b.Data() {
+		if v != 0 {
+			t.Fatal("poisoned buffer not re-zeroed by Acquire")
+		}
+	}
+}
