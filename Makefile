@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-all cover reproduce observations examples clean
+.PHONY: all check build vet test race bench bench-all bench-compare cover reproduce observations examples clean
 
 all: check
 
@@ -22,11 +22,16 @@ race:
 # Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
 # machine-readable for regression tracking.
 bench:
-	$(GO) test -run '^$$' -bench 'GEMM|ConvFwdBwd|TwinStep' -benchtime 3s -benchmem -json . > BENCH_numeric.json
+	$(GO) test -run '^$$' -bench 'GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep' -benchtime 3s -benchmem -json . > BENCH_numeric.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_numeric.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
 bench-all:
 	$(GO) test -bench=. -benchmem
+
+# Re-run the tracked micro-benchmarks and print old-vs-new deltas against
+# the committed BENCH_numeric.json baseline.
+bench-compare:
+	$(GO) run ./cmd/benchcompare
 
 cover:
 	$(GO) test -cover ./...

@@ -331,6 +331,60 @@ func BenchmarkConvFwdBwd(b *testing.B) {
 	}
 }
 
+// BenchmarkDenseFusedFwdBwd measures a Dense+ReLU forward/backward with the
+// activation fused into the GEMM epilogue (vs. the standalone-layer
+// composition it replaced bit-for-bit).
+func BenchmarkDenseFusedFwdBwd(b *testing.B) {
+	rng := tensor.NewRNG(12)
+	l := layers.NewDenseAct("fc", 256, 256, tensor.ActReLU, rng)
+	x := tensor.RandNormal(rng, 0, 1, 64, 256)
+	gy := tensor.RandNormal(rng, 0, 1, 64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Forward(x, true)
+		l.Backward(gy)
+	}
+}
+
+// BenchmarkOptimStep measures the single-pass optimizer kernels over a
+// realistic parameter-buffer population.
+func BenchmarkOptimStep(b *testing.B) {
+	rng := tensor.NewRNG(13)
+	mkParams := func() []*layers.Param {
+		var ps []*layers.Param
+		for i, n := range []int{256 * 256, 64 * 256, 4096, 256, 31} {
+			ps = append(ps, layers.NewParam("p", tensor.RandNormal(rng, 0, 0.1, n)))
+			copy(ps[i].Grad.Data(), tensor.RandNormal(rng, 0, 0.01, n).Data())
+		}
+		return ps
+	}
+	for _, tc := range []struct {
+		name string
+		opt  optim.Optimizer
+	}{
+		{"sgd", optim.NewSGD(0.01)},
+		{"momentum", optim.NewMomentum(0.01, 0.9)},
+		{"adam", optim.NewAdam(0.01)},
+		{"rmsprop", optim.NewRMSProp(0.01)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			params := mkParams()
+			tc.opt.Step(params) // allocate lazy state outside the timer
+			var elems int64
+			for _, p := range params {
+				elems += int64(p.Value.Numel())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.opt.Step(params)
+			}
+			b.ReportMetric(float64(elems)*float64(b.N)/1e6/b.Elapsed().Seconds(), "Melem/s")
+		})
+	}
+}
+
 // BenchmarkTwinStep measures one full training step of the numeric ResNet
 // twin under the engine configurations the backend work targets: the
 // seed-equivalent serial/no-pool mode, pooling alone, and pooling with the

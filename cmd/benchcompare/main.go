@@ -1,0 +1,216 @@
+// Command benchcompare re-runs the tracked numeric micro-benchmarks and
+// prints old-vs-new deltas against a committed `go test -json` baseline
+// (BENCH_numeric.json, produced by `make bench`). Plain stdlib only.
+//
+// Usage:
+//
+//	go run ./cmd/benchcompare [-old BENCH_numeric.json] [-bench regexp] [-benchtime 1s]
+//	go run ./cmd/benchcompare -new other.json   # compare two saved files
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line's parsed metrics, keyed by unit
+// ("ns/op", "GFLOP/s", "samples/s", "B/op", "allocs/op", ...).
+type benchResult struct {
+	name    string
+	iters   int64
+	metrics map[string]float64
+}
+
+// testEvent is the subset of the `go test -json` event stream we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line: name, iteration count, then
+// value/unit pairs. The -N GOMAXPROCS suffix is stripped so runs from
+// different machines compare by benchmark name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput extracts benchmark results from a `go test -json`
+// stream. Output events are concatenated before line-splitting: the test
+// runner may emit one logical result line as several events.
+func parseBenchOutput(r io.Reader) (map[string]benchResult, error) {
+	var text strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (truncated or hand-edited files)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchResult)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{name: m[1], iters: iters, metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.metrics[fields[i+1]] = v
+		}
+		out[res.name] = res
+	}
+	return out, nil
+}
+
+func parseBenchFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBenchStream(f, path)
+}
+
+func parseBenchStream(f io.Reader, path string) (map[string]benchResult, error) {
+	res, err := parseBenchOutput(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return res, nil
+}
+
+// runBenches executes the benchmarks fresh and returns both the parsed
+// results and the raw JSON stream (so callers can save it).
+func runBenches(pattern, benchtime string) (map[string]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-benchmem", "-json", ".")
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "running: %s\n", strings.Join(cmd.Args, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	return parseBenchStream(&stdout, "go test output")
+}
+
+// delta formats a percentage change, signed.
+func delta(old, new float64) string {
+	if old == 0 {
+		return "   n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}
+
+// fmtMetric renders a metric value compactly.
+func fmtMetric(v float64, unit string) string {
+	switch {
+	case unit == "ns/op" || v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// rateUnits are throughput metrics where higher is better; they get their
+// own columns after ns/op.
+var rateUnits = []string{"GFLOP/s", "samples/s", "Melem/s", "MB/s"}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_numeric.json", "baseline `file` (go test -json stream)")
+	newPath := flag.String("new", "", "compare this saved `file` instead of re-running benchmarks")
+	pattern := flag.String("bench", "GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep", "benchmark `regexp` to run")
+	benchtime := flag.String("benchtime", "1s", "benchtime for the fresh run")
+	flag.Parse()
+
+	old, err := parseBenchFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	var cur map[string]benchResult
+	if *newPath != "" {
+		cur, err = parseBenchFile(*newPath)
+	} else {
+		cur, err = runBenches(*pattern, *benchtime)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-44s %14s %14s %8s   %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "rates (old -> new)")
+	for _, name := range names {
+		n := cur[name]
+		o, haveOld := old[name]
+		nsNew := n.metrics["ns/op"]
+		if !haveOld {
+			fmt.Fprintf(w, "%-44s %14s %14s %8s   %s\n", name, "-", fmtMetric(nsNew, "ns/op"), "new", rateCols(benchResult{}, n))
+			continue
+		}
+		nsOld := o.metrics["ns/op"]
+		fmt.Fprintf(w, "%-44s %14s %14s %8s   %s\n",
+			name, fmtMetric(nsOld, "ns/op"), fmtMetric(nsNew, "ns/op"), delta(nsOld, nsNew), rateCols(o, n))
+	}
+	// Baseline-only benchmarks (renamed or removed) are worth flagging —
+	// silent disappearance would otherwise read as "still tracked".
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(w, "%-44s %14s %14s %8s\n", name, fmtMetric(old[name].metrics["ns/op"], "ns/op"), "-", "gone")
+		}
+	}
+}
+
+// rateCols renders throughput metrics plus the allocation count, old -> new.
+func rateCols(o, n benchResult) string {
+	var parts []string
+	for _, unit := range rateUnits {
+		nv, ok := n.metrics[unit]
+		if !ok {
+			continue
+		}
+		if ov, ok := o.metrics[unit]; ok {
+			parts = append(parts, fmt.Sprintf("%s %s -> %s (%s)", unit, fmtMetric(ov, unit), fmtMetric(nv, unit), delta(ov, nv)))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s %s", unit, fmtMetric(nv, unit)))
+		}
+	}
+	if av, ok := n.metrics["allocs/op"]; ok {
+		parts = append(parts, fmt.Sprintf("%.0f allocs", av))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"testing"
+
+	"tbd/internal/layers"
+	"tbd/internal/optim"
+	"tbd/internal/tensor"
+)
+
+// TestFusedNetworkTrainsBitIdentical trains the same small CNN twice — once
+// with fused conv/dense activation epilogues, once with standalone
+// activation layers — on identical data with identical seeds, and requires
+// the loss and every parameter to stay bitwise equal at every step. This is
+// the end-to-end statement of the fusion contract: swapping NewConv2D+ReLU
+// for NewConv2DAct (and Dense likewise) changes the training trajectory by
+// exactly nothing.
+func TestFusedNetworkTrainsBitIdentical(t *testing.T) {
+	build := func(fused bool) *Network {
+		rng := tensor.NewRNG(77)
+		// Activation layers draw nothing from the RNG, so both variants
+		// consume identical init streams.
+		var ls []layers.Layer
+		if fused {
+			ls = []layers.Layer{
+				layers.NewConv2DAct("c1", 1, 4, 3, 1, 1, tensor.ActReLU, rng),
+				layers.NewMaxPool2D("p1", 2, 2),
+				layers.NewFlatten("flat"),
+				layers.NewDenseAct("fc1", 4*4*4, 16, tensor.ActTanh, rng),
+				layers.NewDense("out", 16, 3, rng),
+			}
+		} else {
+			ls = []layers.Layer{
+				layers.NewConv2D("c1", 1, 4, 3, 1, 1, rng),
+				layers.NewReLU("r1"),
+				layers.NewMaxPool2D("p1", 2, 2),
+				layers.NewFlatten("flat"),
+				layers.NewDense("fc1", 4*4*4, 16, rng),
+				layers.NewTanh("t1"),
+				layers.NewDense("out", 16, 3, rng),
+			}
+		}
+		return New("cnn", layers.NewSequential("root", ls...))
+	}
+
+	for _, workers := range []int{1, 3} {
+		tensor.SetParallelism(workers)
+		fusedNet, plainNet := build(true), build(false)
+		// Exercise the rewritten optimizer kernels in-loop too.
+		optF := optim.NewMomentum(0.05, 0.9)
+		optF.Nesterov = true
+		optP := optim.NewMomentum(0.05, 0.9)
+		optP.Nesterov = true
+
+		data := tensor.NewRNG(123)
+		for step := 0; step < 8; step++ {
+			x := tensor.RandNormal(data, 0, 1, 4, 1, 8, 8)
+			labels := []int{step % 3, (step + 1) % 3, 0, 2}
+			rf := TrainClassifierStep(fusedNet, optF, x, labels, 0)
+			rp := TrainClassifierStep(plainNet, optP, x, labels, 0)
+			if rf.Loss != rp.Loss {
+				t.Fatalf("workers=%d step %d: fused loss %v != plain loss %v", workers, step, rf.Loss, rp.Loss)
+			}
+			pf, pp := fusedNet.Params(), plainNet.Params()
+			if len(pf) != len(pp) {
+				t.Fatalf("param count mismatch: %d vs %d", len(pf), len(pp))
+			}
+			for i := range pf {
+				if !tensor.Equal(pf[i].Value, pp[i].Value, 0) {
+					t.Fatalf("workers=%d step %d: param %s diverged from %s", workers, step, pf[i].Name, pp[i].Name)
+				}
+			}
+		}
+	}
+	tensor.SetParallelism(1)
+}

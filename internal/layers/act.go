@@ -1,8 +1,6 @@
 package layers
 
 import (
-	"math"
-
 	"tbd/internal/tensor"
 )
 
@@ -124,9 +122,10 @@ func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
 
 func (l *Sigmoid) Name() string { return l.name }
 
-func sigmoid(v float32) float32 {
-	return float32(1 / (1 + math.Exp(-float64(v))))
-}
+// sigmoid delegates to the tensor package's definition — the same one the
+// fused GEMM epilogue applies, so fused and standalone sigmoid layers are
+// bit-identical by construction.
+func sigmoid(v float32) float32 { return tensor.Sigmoid32(v) }
 
 func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.out.Release()
@@ -168,7 +167,7 @@ func (l *Tanh) Name() string { return l.name }
 
 func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.out.Release()
-	y := tensor.Apply(x, func(v float32) float32 { return float32(math.Tanh(float64(v))) })
+	y := tensor.Apply(x, tensor.Tanh32)
 	l.out = y
 	if train {
 		l.y = y

@@ -6,12 +6,16 @@ import (
 	"tbd/internal/tensor"
 )
 
-// Conv2D is a 2-D convolution over NCHW inputs with optional bias.
+// Conv2D is a 2-D convolution over NCHW inputs with optional bias and an
+// optional activation; both are fused into the per-image GEMM write-back,
+// bit-identical to the unfused convolution + bias pass + activation-layer
+// composition. Act is ActNone by default.
 type Conv2D struct {
 	name                string
 	InC, OutC           int
 	KH, KW, Stride, Pad int
 	W, B                *Param
+	Act                 tensor.ActKind
 	useBias             bool
 	x                   *tensor.Tensor
 	cols                *tensor.Tensor // im2col lowering kept for backward
@@ -39,6 +43,15 @@ func NewConv2DNoBias(name string, inC, outC, k, stride, pad int, rng *tensor.RNG
 	return c
 }
 
+// NewConv2DAct constructs a convolution with a fused activation epilogue —
+// a drop-in replacement for NewConv2D followed by a standalone activation
+// layer, producing identical bits with one less full-tensor pass each way.
+func NewConv2DAct(name string, inC, outC, k, stride, pad int, act tensor.ActKind, rng *tensor.RNG) *Conv2D {
+	c := NewConv2D(name, inC, outC, k, stride, pad, rng)
+	c.Act = act
+	return c
+}
+
 func (c *Conv2D) Name() string { return c.name }
 
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -47,45 +60,46 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	c.out.Release()
 	c.cols.Release()
+	var bias *tensor.Tensor
+	if c.useBias {
+		// Bias is per output channel (= per GEMM row), broadcast over N
+		// and spatial dims by the fused epilogue.
+		bias = c.B.Value
+	}
 	var y *tensor.Tensor
 	if train {
 		c.x = x
 		// Keep the lowering for the backward pass — recomputing im2col is
 		// the textbook workspace-memory-for-throughput trade.
-		y, c.cols = tensor.Conv2DWithCols(x, c.W.Value, c.Stride, c.Pad)
+		y, c.cols = tensor.Conv2DWithColsFused(x, c.W.Value, bias, c.Act, c.Stride, c.Pad)
 	} else {
 		c.x = nil
 		c.cols = nil
-		y = tensor.Conv2D(x, c.W.Value, c.Stride, c.Pad)
+		y = tensor.Conv2DFused(x, c.W.Value, bias, c.Act, c.Stride, c.Pad)
 	}
 	c.out = y
-	if c.useBias {
-		// Bias is per output channel; broadcast over N and spatial dims.
-		n, f, oh, ow := y.Dim(0), y.Dim(1), y.Dim(2), y.Dim(3)
-		for b := 0; b < n; b++ {
-			for ch := 0; ch < f; ch++ {
-				bias := c.B.Value.Data()[ch]
-				plane := y.Data()[(b*f+ch)*oh*ow : (b*f+ch+1)*oh*ow]
-				for i := range plane {
-					plane[i] += bias
-				}
-			}
-		}
-	}
 	return y
 }
 
 func (c *Conv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(c.name, c.x)
 	c.gx.Release()
-	gx, gw := tensor.Conv2DBackwardCols(c.cols, c.x.Shape(), c.W.Value, gy, c.Stride, c.Pad)
+	gz := gy
+	// See Dense.Backward: the fused activation backprops from the stashed
+	// post-activation output.
+	var gzOwned *tensor.Tensor
+	if c.Act != tensor.ActNone {
+		gzOwned = tensor.ActBackward(c.Act, gy, c.out)
+		gz = gzOwned
+	}
+	gx, gw := tensor.Conv2DBackwardCols(c.cols, c.x.Shape(), c.W.Value, gz, c.Stride, c.Pad)
 	tensor.AddInPlace(c.W.Grad, gw)
 	gw.Release()
 	if c.useBias {
-		n, f, oh, ow := gy.Dim(0), gy.Dim(1), gy.Dim(2), gy.Dim(3)
+		n, f, oh, ow := gz.Dim(0), gz.Dim(1), gz.Dim(2), gz.Dim(3)
 		for b := 0; b < n; b++ {
 			for ch := 0; ch < f; ch++ {
-				plane := gy.Data()[(b*f+ch)*oh*ow : (b*f+ch+1)*oh*ow]
+				plane := gz.Data()[(b*f+ch)*oh*ow : (b*f+ch+1)*oh*ow]
 				var s float32
 				for _, v := range plane {
 					s += v
@@ -94,6 +108,7 @@ func (c *Conv2D) Backward(gy *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+	gzOwned.Release()
 	c.gx = gx
 	return gx
 }

@@ -6,12 +6,16 @@ import (
 	"tbd/internal/tensor"
 )
 
-// Dense is a fully-connected layer y = x @ W + b operating on [N, In]
-// inputs. Inputs of higher rank are flattened to [N, In] first.
+// Dense is a fully-connected layer y = act(x @ W + b) operating on
+// [N, In] inputs. Inputs of higher rank are flattened to [N, In] first.
+// Bias and activation are fused into the GEMM write-back (bit-identical
+// to the unfused Dense + activation-layer composition); Act is ActNone by
+// default, i.e. a plain linear layer.
 type Dense struct {
 	name     string
 	In, Out  int
 	W, B     *Param
+	Act      tensor.ActKind
 	useBias  bool
 	x        *tensor.Tensor // cached input (feature map stash)
 	out, gx  *tensor.Tensor // previously returned buffers, recycled next call
@@ -37,6 +41,15 @@ func NewDenseNoBias(name string, in, out int, rng *tensor.RNG) *Dense {
 	return d
 }
 
+// NewDenseAct constructs a dense layer with a fused activation epilogue —
+// a drop-in replacement for NewDense followed by a standalone activation
+// layer, producing identical bits with one less full-tensor pass each way.
+func NewDenseAct(name string, in, out int, act tensor.ActKind, rng *tensor.RNG) *Dense {
+	d := NewDense(name, in, out, rng)
+	d.Act = act
+	return d
+}
+
 func (d *Dense) Name() string { return d.name }
 
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
@@ -56,11 +69,12 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		d.x = nil
 	}
-	y := tensor.MatMul(x2, d.W.Value)
-	d.out = y
+	var bias *tensor.Tensor
 	if d.useBias {
-		tensor.AddRowBroadcastInPlace(y, d.B.Value)
+		bias = d.B.Value
 	}
+	y := tensor.MatMulBiasAct(x2, d.W.Value, bias, d.Act)
+	d.out = y
 	// Preserve the input's leading dimensions: [..., In] -> [..., Out].
 	if len(d.origDims) > 2 {
 		outDims := append([]int(nil), d.origDims[:len(d.origDims)-1]...)
@@ -74,16 +88,25 @@ func (d *Dense) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	requireForward(d.name, d.x)
 	d.gx.Release()
 	n := d.x.Dim(0)
-	g2 := gy.Reshape(n, d.Out)
-	gw := tensor.MatMulTransA(d.x, g2)
+	gz := gy.Reshape(n, d.Out)
+	// With a fused activation the stashed output is post-activation, and
+	// all three activations' derivatives are functions of that output, so
+	// backprop through the epilogue needs no extra stash.
+	var gzOwned *tensor.Tensor
+	if d.Act != tensor.ActNone {
+		gzOwned = tensor.ActBackward(d.Act, gz, d.out)
+		gz = gzOwned
+	}
+	gw := tensor.MatMulTransA(d.x, gz)
 	tensor.AddInPlace(d.W.Grad, gw)
 	gw.Release()
 	if d.useBias {
-		gb := tensor.SumRows(g2)
+		gb := tensor.SumRows(gz)
 		tensor.AddInPlace(d.B.Grad, gb)
 		gb.Release()
 	}
-	gx := tensor.MatMulTransB(g2, d.W.Value)
+	gx := tensor.MatMulTransB(gz, d.W.Value)
+	gzOwned.Release()
 	d.gx = gx
 	return gx.Reshape(d.origDims...)
 }

@@ -1,0 +1,136 @@
+package layers
+
+import (
+	"testing"
+
+	"tbd/internal/tensor"
+)
+
+// Fused-epilogue equivalence: a Dense/Conv2D with Act set must produce the
+// same bits as the unfused layer followed by the standalone activation
+// layer — forward, input gradient, and parameter gradients — because the
+// GEMM epilogue and ActBackward evaluate the exact expressions the
+// standalone layers do. All comparisons use Equal(..., 0).
+
+// actLayerFor builds the standalone activation layer matching kind.
+func actLayerFor(kind tensor.ActKind) Layer {
+	switch kind {
+	case tensor.ActReLU:
+		return NewReLU("act")
+	case tensor.ActSigmoid:
+		return NewSigmoid("act")
+	case tensor.ActTanh:
+		return NewTanh("act")
+	}
+	panic("no standalone layer for ActNone")
+}
+
+var fusedActKinds = []tensor.ActKind{tensor.ActReLU, tensor.ActSigmoid, tensor.ActTanh}
+
+func requireBitEqual(t *testing.T, what string, got, want *tensor.Tensor) {
+	t.Helper()
+	if !tensor.Equal(got, want, 0) {
+		t.Fatalf("%s: fused and unfused paths disagree", what)
+	}
+}
+
+func TestDenseFusedMatchesUnfusedBitExact(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		tensor.SetParallelism(workers)
+		for _, kind := range fusedActKinds {
+			// Same seed => identical weight initialization draws.
+			fused := NewDenseAct("fc", 13, 7, kind, tensor.NewRNG(42))
+			plain := NewDense("fc", 13, 7, tensor.NewRNG(42))
+			act := actLayerFor(kind)
+
+			rng := tensor.NewRNG(51)
+			x := tensor.RandNormal(rng, 0, 1, 5, 13)
+			gy := tensor.RandNormal(rng, 0, 1, 5, 7)
+
+			yf := fused.Forward(x, true)
+			yu := act.Forward(plain.Forward(x, true), true)
+			requireBitEqual(t, kind.String()+" dense forward", yf, yu)
+
+			gxf := fused.Backward(gy)
+			gxu := plain.Backward(act.Backward(gy))
+			requireBitEqual(t, kind.String()+" dense gx", gxf, gxu)
+			requireBitEqual(t, kind.String()+" dense gw", fused.W.Grad, plain.W.Grad)
+			requireBitEqual(t, kind.String()+" dense gb", fused.B.Grad, plain.B.Grad)
+
+			// Inference path too (no stash, same bits).
+			yfe := fused.Forward(x, false)
+			yue := act.Forward(plain.Forward(x, false), false)
+			requireBitEqual(t, kind.String()+" dense eval forward", yfe, yue)
+		}
+	}
+	tensor.SetParallelism(1)
+}
+
+func TestConv2DFusedMatchesUnfusedBitExact(t *testing.T) {
+	type cfg struct {
+		name            string
+		k, stride, pad  int
+		inC, outC, h, w int
+	}
+	// The 1x1 case also exercises the pointwise no-im2col fast path.
+	cfgs := []cfg{
+		{"3x3", 3, 1, 1, 2, 4, 6, 6},
+		{"1x1", 1, 1, 0, 3, 5, 4, 4},
+		{"strided", 3, 2, 1, 2, 3, 7, 7},
+	}
+	for _, workers := range []int{1, 3} {
+		tensor.SetParallelism(workers)
+		for _, c := range cfgs {
+			for _, kind := range fusedActKinds {
+				fused := NewConv2DAct("cv", c.inC, c.outC, c.k, c.stride, c.pad, kind, tensor.NewRNG(9))
+				plain := NewConv2D("cv", c.inC, c.outC, c.k, c.stride, c.pad, tensor.NewRNG(9))
+				act := actLayerFor(kind)
+
+				rng := tensor.NewRNG(51)
+				x := tensor.RandNormal(rng, 0, 1, 2, c.inC, c.h, c.w)
+
+				yf := fused.Forward(x, true)
+				yu := act.Forward(plain.Forward(x, true), true)
+				requireBitEqual(t, c.name+" "+kind.String()+" conv forward", yf, yu)
+
+				gy := tensor.RandNormal(rng, 0, 1, yf.Shape()...)
+				gxf := fused.Backward(gy)
+				gxu := plain.Backward(act.Backward(gy))
+				requireBitEqual(t, c.name+" "+kind.String()+" conv gx", gxf, gxu)
+				requireBitEqual(t, c.name+" "+kind.String()+" conv gw", fused.W.Grad, plain.W.Grad)
+				requireBitEqual(t, c.name+" "+kind.String()+" conv gb", fused.B.Grad, plain.B.Grad)
+
+				yfe := fused.Forward(x, false)
+				yue := act.Forward(plain.Forward(x, false), false)
+				requireBitEqual(t, c.name+" "+kind.String()+" conv eval forward", yfe, yue)
+			}
+		}
+	}
+	tensor.SetParallelism(1)
+}
+
+// Fused layers must also survive finite-difference gradient checking on
+// their own (not just agree with the unfused composition).
+func TestDenseActGradients(t *testing.T) {
+	for _, kind := range fusedActKinds {
+		rng := tensor.NewRNG(51)
+		l := NewDenseAct("fc-"+kind.String(), 5, 3, kind, rng)
+		gradCheck(t, l, tensor.RandNormal(rng, 0, 1, 4, 5), 2e-2)
+	}
+}
+
+func TestConv2DActGradients(t *testing.T) {
+	for _, kind := range fusedActKinds {
+		rng := tensor.NewRNG(51)
+		l := NewConv2DAct("cv-"+kind.String(), 2, 3, 3, 1, 1, kind, rng)
+		gradCheck(t, l, tensor.RandNormal(rng, 0, 1, 2, 2, 5, 5), 3e-2)
+	}
+}
+
+// The pointwise (1x1, stride 1, pad 0) convolution skips im2col entirely;
+// its gradients must still check out.
+func TestConv1x1FastPathGradients(t *testing.T) {
+	rng := tensor.NewRNG(51)
+	l := NewConv2D("pw", 3, 4, 1, 1, 0, rng)
+	gradCheck(t, l, tensor.RandNormal(rng, 0, 1, 2, 3, 4, 4), 3e-2)
+}

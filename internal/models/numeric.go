@@ -14,6 +14,15 @@ import (
 // Figure 2 convergence curves and serve as end-to-end tests of the
 // training engine. Scale substitutions are documented in DESIGN.md.
 
+// convNoBiasAct is NewConv2DNoBias with a fused activation epilogue — for
+// branches where the conv feeds its activation directly (no BatchNorm in
+// between).
+func convNoBiasAct(name string, inC, outC, k, stride, pad int, act tensor.ActKind, rng *tensor.RNG) *layers.Conv2D {
+	c := layers.NewConv2DNoBias(name, inC, outC, k, stride, pad, rng)
+	c.Act = act
+	return c
+}
+
 // NumericResNet builds a small residual CNN classifier over c×size×size
 // images, the twin of ResNet-50 (bottleneck-free basic blocks at reduced
 // width/depth).
@@ -55,16 +64,16 @@ func NumericInception(rng *tensor.RNG, c, size, classes int) *graph.Network {
 			layers.NewReLU("b1.relu"),
 		),
 		layers.NewSequential("b2",
-			layers.NewConv2DNoBias("b2.1x1", 8, 4, 1, 1, 0, rng),
-			layers.NewReLU("b2.relu1"),
+			// No BatchNorm between this 1x1 and its ReLU, so the
+			// activation fuses into the conv epilogue.
+			convNoBiasAct("b2.1x1", 8, 4, 1, 1, 0, tensor.ActReLU, rng),
 			layers.NewConv2DNoBias("b2.3x3", 4, 6, 3, 1, 1, rng),
 			layers.NewBatchNorm2D("b2.bn", 6),
 			layers.NewReLU("b2.relu2"),
 		),
 		layers.NewSequential("b3",
 			layers.NewAvgPool2D("b3.pool", 3, 1),
-			layers.NewConv2DNoBias("b3.1x1", 8, 4, 1, 1, 1, rng),
-			layers.NewReLU("b3.relu"),
+			convNoBiasAct("b3.1x1", 8, 4, 1, 1, 1, tensor.ActReLU, rng),
 		),
 	)
 	root := layers.NewSequential("inception-twin",
@@ -96,9 +105,10 @@ func NumericSeq2Seq(rng *tensor.RNG, vocab, dim, hidden int) *graph.Network {
 // encoding, one residual attention block with layer norm and FFN, and the
 // vocabulary projection.
 func NumericTransformer(rng *tensor.RNG, vocab, dim, heads int) *graph.Network {
+	// ffn1's ReLU rides in the GEMM epilogue (bit-identical to the former
+	// standalone layer, one less full-tensor pass each direction).
 	ffn := layers.NewSequential("ffn",
-		layers.NewDense("ffn1", dim, 2*dim, rng),
-		layers.NewReLU("ffn.relu"),
+		layers.NewDenseAct("ffn1", dim, 2*dim, tensor.ActReLU, rng),
 		layers.NewDense("ffn2", 2*dim, dim, rng),
 	)
 	root := layers.NewSequential("transformer-twin",
@@ -145,8 +155,7 @@ func NumericDeepSpeechCTC(rng *tensor.RNG, features, hidden, symbols int) *graph
 // head emitted as 4 outputs (logits[0:3], value[3]).
 func NumericA3CPolicy(rng *tensor.RNG) *graph.Network {
 	root := layers.NewSequential("a3c-twin",
-		layers.NewDense("fc1", 6, 32, rng),
-		layers.NewTanh("tanh1"),
+		layers.NewDenseAct("fc1", 6, 32, tensor.ActTanh, rng),
 		layers.NewDense("heads", 32, 4, rng),
 	)
 	return graph.New("A3C-twin", root)
@@ -158,13 +167,10 @@ func NumericA3CPixelPolicy(rng *tensor.RNG, size int) *graph.Network {
 	h1 := (size-8)/4 + 1
 	h2 := (h1-4)/2 + 1
 	root := layers.NewSequential("a3c-pixel-twin",
-		layers.NewConv2D("conv1", 4, 8, 8, 4, 0, rng),
-		layers.NewReLU("relu1"),
-		layers.NewConv2D("conv2", 8, 16, 4, 2, 0, rng),
-		layers.NewReLU("relu2"),
+		layers.NewConv2DAct("conv1", 4, 8, 8, 4, 0, tensor.ActReLU, rng),
+		layers.NewConv2DAct("conv2", 8, 16, 4, 2, 0, tensor.ActReLU, rng),
 		layers.NewFlatten("flat"),
-		layers.NewDense("fc", 16*h2*h2, 64, rng),
-		layers.NewReLU("relu3"),
+		layers.NewDenseAct("fc", 16*h2*h2, 64, tensor.ActReLU, rng),
 		layers.NewDense("heads", 64, 4, rng),
 	)
 	return graph.New("A3C-pixel-twin", root)
@@ -174,10 +180,8 @@ func NumericA3CPixelPolicy(rng *tensor.RNG, size int) *graph.Network {
 // critic (image -> score) networks at reduced scale.
 func NumericWGAN(rng *tensor.RNG, latent, c, size int) (gen, critic *graph.Network) {
 	gen = graph.New("WGAN-gen", layers.NewSequential("gen",
-		layers.NewDense("fc1", latent, 32, rng),
-		layers.NewReLU("relu1"),
-		layers.NewDense("fc2", 32, c*size*size, rng),
-		layers.NewTanh("tanh"),
+		layers.NewDenseAct("fc1", latent, 32, tensor.ActReLU, rng),
+		layers.NewDenseAct("fc2", 32, c*size*size, tensor.ActTanh, rng),
 	))
 	critic = graph.New("WGAN-critic", layers.NewSequential("critic",
 		layers.NewDense("fc1", c*size*size, 32, rng),
@@ -201,8 +205,7 @@ type NumericDetector struct {
 // inputs over the given number of object classes.
 func NewNumericDetector(rng *tensor.RNG, c, size, classes int) *NumericDetector {
 	trunk := layers.NewSequential("trunk",
-		layers.NewConv2D("conv1", c, 8, 3, 1, 1, rng),
-		layers.NewReLU("relu1"),
+		layers.NewConv2DAct("conv1", c, 8, 3, 1, 1, tensor.ActReLU, rng),
 		layers.NewMaxPool2D("pool", 2, 2),
 		layers.NewFlatten("flat"),
 	)

@@ -86,11 +86,7 @@ func NewSGD(lr float32) *SGD { return &SGD{LR: lr} }
 // Step applies w -= lr * (g + wd*w).
 func (o *SGD) Step(params []*layers.Param) {
 	for _, p := range params {
-		w := p.Value.Data()
-		g := p.Grad.Data()
-		for i := range w {
-			w[i] -= o.LR * (g[i] + o.WeightDecay*w[i])
-		}
+		sgdStep(p.Value.Data(), p.Grad.Data(), o.LR, o.WeightDecay)
 	}
 }
 
@@ -119,16 +115,11 @@ func (o *Momentum) Step(params []*layers.Param) {
 			v = make([]float32, p.Value.Numel())
 			o.velocity[p] = v
 		}
-		w := p.Value.Data()
-		g := p.Grad.Data()
-		for i := range w {
-			grad := g[i] + o.WeightDecay*w[i]
-			v[i] = o.Mu*v[i] - o.LR*grad
-			if o.Nesterov {
-				w[i] += o.Mu*v[i] - o.LR*grad
-			} else {
-				w[i] += v[i]
-			}
+		// Branch on the variant once per parameter, not once per element.
+		if o.Nesterov {
+			nesterovStep(p.Value.Data(), p.Grad.Data(), v, o.LR, o.Mu, o.WeightDecay)
+		} else {
+			momentumStep(p.Value.Data(), p.Grad.Data(), v, o.LR, o.Mu, o.WeightDecay)
 		}
 	}
 }
@@ -187,15 +178,7 @@ func (o *Adam) Step(params []*layers.Param) {
 			o.v[p] = make([]float32, p.Value.Numel())
 		}
 		v := o.v[p]
-		w := p.Value.Data()
-		g := p.Grad.Data()
-		for i := range w {
-			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g[i]
-			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g[i]*g[i]
-			mh := m[i] / c1
-			vh := v[i] / c2
-			w[i] -= o.LR * mh / (float32(math.Sqrt(float64(vh))) + o.Eps)
-		}
+		adamStep(p.Value.Data(), p.Grad.Data(), m, v, o.LR, o.Beta1, o.Beta2, o.Eps, c1, c2)
 	}
 }
 
@@ -249,12 +232,7 @@ func (o *RMSProp) Step(params []*layers.Param) {
 			s = make([]float32, p.Value.Numel())
 			o.sq[p] = s
 		}
-		w := p.Value.Data()
-		g := p.Grad.Data()
-		for i := range w {
-			s[i] = o.Decay*s[i] + (1-o.Decay)*g[i]*g[i]
-			w[i] -= o.LR * g[i] / float32(math.Sqrt(float64(s[i])+float64(o.Eps)))
-		}
+		rmspropStep(p.Value.Data(), p.Grad.Data(), s, o.LR, o.Decay, o.Eps)
 	}
 }
 

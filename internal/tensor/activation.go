@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ActKind names an activation that GEMM and convolution can fuse into
+// their write-back epilogue. The fused forms are bit-identical to
+// applying the same activation as a separate pass: the epilogue runs
+// after each output element's reduction is complete and uses exactly the
+// scalar formulas below.
+type ActKind uint8
+
+const (
+	ActNone ActKind = iota
+	ActReLU
+	ActSigmoid
+	ActTanh
+)
+
+func (a ActKind) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActSigmoid:
+		return "sigmoid"
+	case ActTanh:
+		return "tanh"
+	}
+	return fmt.Sprintf("ActKind(%d)", uint8(a))
+}
+
+// Sigmoid32 is the logistic function computed in float64 and rounded
+// once, the single definition shared by the fused epilogue and the
+// standalone Sigmoid layer.
+func Sigmoid32(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// Tanh32 is the float64-backed hyperbolic tangent, shared like Sigmoid32.
+func Tanh32(v float32) float32 {
+	return float32(math.Tanh(float64(v)))
+}
+
+// ActBackward computes the input gradient of a fused activation from the
+// upstream gradient gy and the activation output y: gz = gy ⊙ act'(y).
+// All three activations admit a derivative in terms of the output alone,
+// which is what the fused layers stash. The expressions match the
+// standalone activation layers' backward passes exactly — ReLU as a
+// mask multiply (so NaN gradients propagate), sigmoid as gy·y·(1-y),
+// tanh as gy·(1-y²) — so fused and unfused training trajectories are
+// bit-identical. The result is pool-backed.
+func ActBackward(act ActKind, gy, y *Tensor) *Tensor {
+	if len(gy.data) != len(y.data) {
+		panic(fmt.Sprintf("tensor: ActBackward size mismatch %v vs %v", gy.shape, y.shape))
+	}
+	out := acquireDirty(gy.shape...)
+	gv, yv, ov := gy.data, y.data, out.data
+	yv = yv[:len(gv)]
+	ov = ov[:len(gv)]
+	switch act {
+	case ActReLU:
+		for i, yy := range yv {
+			var mask float32
+			if yy > 0 {
+				mask = 1
+			}
+			ov[i] = gv[i] * mask
+		}
+	case ActSigmoid:
+		for i, yy := range yv {
+			ov[i] = gv[i] * yy * (1 - yy)
+		}
+	case ActTanh:
+		for i, yy := range yv {
+			ov[i] = gv[i] * (1 - yy*yy)
+		}
+	default:
+		copy(ov, gv)
+	}
+	return out
+}

@@ -202,10 +202,26 @@ func col2imRange(out, cols []float32, c, h, w, kh, kw, stride, pad, blo, bhi int
 	}
 }
 
+// conv1x1Direct reports whether the convolution is a pointwise (1x1,
+// stride 1, no padding) product, for which the im2col lowering of x is x
+// itself viewed as [N, C, H*W] — no copy, no workspace.
+func conv1x1Direct(kh, kw, stride, pad int) bool {
+	return kh == 1 && kw == 1 && stride == 1 && pad == 0
+}
+
 // Conv2D computes a 2-D convolution of x [N, C, H, W] with weights
 // w [F, C, kh, kw], returning a pool-backed [N, F, outH, outW].
 func Conv2D(x, w *Tensor, stride, pad int) *Tensor {
-	out, cols := Conv2DWithCols(x, w, stride, pad)
+	out, cols := conv2DForward(x, w, nil, ActNone, stride, pad)
+	cols.Release()
+	return out
+}
+
+// Conv2DFused is Conv2D with a per-channel bias (may be nil) and an
+// activation fused into the GEMM write-back, bit-identical to the unfused
+// Conv2D + bias pass + activation pass composition.
+func Conv2DFused(x, w, bias *Tensor, act ActKind, stride, pad int) *Tensor {
+	out, cols := conv2DForward(x, w, bias, act, stride, pad)
 	cols.Release()
 	return out
 }
@@ -213,12 +229,25 @@ func Conv2D(x, w *Tensor, stride, pad int) *Tensor {
 // Conv2DWithCols is Conv2D but also returns the im2col lowering of x so
 // the caller can hand it back to Conv2DBackwardCols and skip recomputing
 // it — the standard activation-memory-for-throughput trade the paper's
-// frameworks make. Both returned tensors are pool-backed.
-//
-// Each image's output block [F, oh*ow] is w [F, C*kh*kw] times that
-// image's lowered block — a plain GEMM written straight into NCHW layout,
-// with no reorder pass. Images are split across the worker pool.
+// frameworks make. Both returned tensors are pool-backed. For pointwise
+// convolutions the returned lowering is a view of x (releasing it is a
+// no-op).
 func Conv2DWithCols(x, w *Tensor, stride, pad int) (out, cols *Tensor) {
+	return conv2DForward(x, w, nil, ActNone, stride, pad)
+}
+
+// Conv2DWithColsFused is Conv2DWithCols with fused bias + activation.
+func Conv2DWithColsFused(x, w, bias *Tensor, act ActKind, stride, pad int) (out, cols *Tensor) {
+	return conv2DForward(x, w, bias, act, stride, pad)
+}
+
+// conv2DForward implements all Conv2D forward variants. Each image's
+// output block [F, oh*ow] is w [F, C*kh*kw] times that image's lowered
+// block — a plain GEMM written straight into NCHW layout, with no reorder
+// pass. Images are split across the worker pool; the optional epilogue
+// (per-channel bias = per-GEMM-row bias, then activation) is applied by
+// the GEMM write-back.
+func conv2DForward(x, w, bias *Tensor, act ActKind, stride, pad int) (out, cols *Tensor) {
 	if x.Rank() != 4 || w.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Conv2D needs NCHW/FCHW, got %v, %v", x.shape, w.shape))
 	}
@@ -230,21 +259,34 @@ func Conv2DWithCols(x, w *Tensor, stride, pad int) (out, cols *Tensor) {
 	oh, ow := ConvOut(x.shape[2], kh, stride, pad), ConvOut(x.shape[3], kw, stride, pad)
 	ckk := x.shape[1] * kh * kw
 	ohw := oh * ow
-	cols = Im2Col(x, kh, kw, stride, pad) // [N, C*kh*kw, oh*ow]
-	out = Acquire(n, f, oh, ow)           // zeroed: the GEMM accumulates
+	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != f) {
+		panic(fmt.Sprintf("tensor: Conv2D bias %v, want [%d]", bias.shape, f))
+	}
+	if conv1x1Direct(kh, kw, stride, pad) {
+		cols = x.Reshape(n, ckk, ohw)
+	} else {
+		cols = Im2Col(x, kh, kw, stride, pad) // [N, C*kh*kw, oh*ow]
+	}
+	var ep *epilogue
+	if bias != nil {
+		ep = &epilogue{rowBias: bias.data, act: act}
+	} else if act != ActNone {
+		ep = &epilogue{act: act}
+	}
+	out = acquireDirty(n, f, oh, ow)
 	if rowWorkers(n, 1) <= 1 {
-		convFwdImages(out.data, w.data, cols.data, f, ckk, ohw, 0, n)
+		convFwdImages(out.data, w.data, cols.data, f, ckk, ohw, 0, n, ep)
 	} else {
 		parallelRows(n, 1, func(blo, bhi int) {
-			convFwdImages(out.data, w.data, cols.data, f, ckk, ohw, blo, bhi)
+			convFwdImages(out.data, w.data, cols.data, f, ckk, ohw, blo, bhi, ep)
 		})
 	}
 	return out, cols
 }
 
-func convFwdImages(dst, w, cols []float32, f, ckk, ohw, blo, bhi int) {
+func convFwdImages(dst, w, cols []float32, f, ckk, ohw, blo, bhi int, ep *epilogue) {
 	for b := blo; b < bhi; b++ {
-		gemmInto(dst[b*f*ohw:(b+1)*f*ohw], w, cols[b*ckk*ohw:(b+1)*ckk*ohw], f, ckk, ohw)
+		gemmSerial(dst[b*f*ohw:(b+1)*f*ohw], w, cols[b*ckk*ohw:(b+1)*ckk*ohw], f, ckk, ohw, layPlain, false, ep)
 	}
 }
 
@@ -275,20 +317,27 @@ func Conv2DBackwardCols(cols *Tensor, xShape []int, w, gy *Tensor, stride, pad i
 	// each image's GEMM, which keeps every element's accumulation order
 	// independent of the worker count.
 	gw = Acquire(f, c, kh, kw)
-	if rowWorkers(f, gemmMinRows(ohw, ckk)) <= 1 {
-		for b := 0; b < n; b++ {
-			gemmTransBAcc(gw.data, gy.data[b*f*ohw:(b+1)*f*ohw], cols.data[b*ckk*ohw:(b+1)*ckk*ohw], f, ohw, ckk)
-		}
-	} else {
-		for b := 0; b < n; b++ {
-			gyb := gy.data[b*f*ohw : (b+1)*f*ohw]
-			colsb := cols.data[b*ckk*ohw : (b+1)*ckk*ohw]
-			parallelRows(f, gemmMinRows(ohw, ckk), func(lo, hi int) {
-				gemmTransBAcc(gw.data[lo*ckk:hi*ckk], gyb[lo*ohw:hi*ohw], colsb, hi-lo, ohw, ckk)
+	for b := 0; b < n; b++ {
+		gyb := gy.data[b*f*ohw : (b+1)*f*ohw]
+		colsb := cols.data[b*ckk*ohw : (b+1)*ckk*ohw]
+		gemmParallel(gw.data, gyb, colsb, f, ohw, ckk, layTransB, true, nil)
+	}
+	if conv1x1Direct(kh, kw, stride, pad) {
+		// Pointwise fast path: the lowered gradient IS the input gradient
+		// ([ckk, ohw] = [C, H*W] per image), so skip the gcols buffer and
+		// the Col2Im scatter (which would add each element exactly once)
+		// and write wᵀ @ gy_b straight into gx.
+		gx = acquireDirty(n, c, h, wid)
+		if rowWorkers(n, 1) <= 1 {
+			convBwdDataImages(gx.data, gy.data, w.data, f, ohw, ckk, 0, n)
+		} else {
+			parallelRows(n, 1, func(blo, bhi int) {
+				convBwdDataImages(gx.data, gy.data, w.data, f, ohw, ckk, blo, bhi)
 			})
 		}
+		return gx, gw
 	}
-	gcols := Acquire(n, ckk, ohw) // zeroed: the TransA kernel accumulates
+	gcols := acquireDirty(n, ckk, ohw)
 	if rowWorkers(n, 1) <= 1 {
 		convBwdDataImages(gcols.data, gy.data, w.data, f, ohw, ckk, 0, n)
 	} else {
@@ -303,8 +352,8 @@ func Conv2DBackwardCols(cols *Tensor, xShape []int, w, gy *Tensor, stride, pad i
 
 func convBwdDataImages(gcols, gy, w []float32, f, ohw, ckk, blo, bhi int) {
 	for b := blo; b < bhi; b++ {
-		// gcols_b [ckk, ohw] += wᵀ [ckk, f] @ gy_b [f, ohw]
-		gemmTransASub(gcols[b*ckk*ohw:(b+1)*ckk*ohw], w, gy[b*f*ohw:(b+1)*f*ohw], ckk, f, ohw, 0, ckk)
+		// gcols_b [ckk, ohw] = wᵀ [ckk, f] @ gy_b [f, ohw]
+		gemmSerial(gcols[b*ckk*ohw:(b+1)*ckk*ohw], w, gy[b*f*ohw:(b+1)*f*ohw], ckk, f, ohw, layTransA, false, nil)
 	}
 }
 

@@ -1,372 +1,355 @@
 package tensor
 
-// Cache-blocked GEMM kernels. All three layouts (plain, transposed-A,
-// transposed-B) accumulate with a fixed order that depends only on the
-// reduction index and the block constants below — never on the worker
-// count — so splitting output rows across goroutines is bit-identical to
-// the serial path.
+// BLIS-style packed GEMM core. The driver packs panels of both operands
+// into contiguous pooled scratch and hands them to a register-tiled
+// 4x4 micro-kernel (SSE assembly on amd64, pure Go elsewhere — see
+// gemm_kernels.go); ragged remainders fall back to the PR 1 reference
+// kernels in gemm_ref.go.
 //
-// Blocking keeps a [gemmBlockK x gemmBlockJ] panel of b resident in L1/L2
-// while it is reused across many rows of a; the k-unrolled inner loops cut
-// loop overhead and let the compiler keep four b-rows' bounds checks
-// hoisted. On top of that, the accumulate kernels process output rows in
-// pairs so each loaded b panel element feeds two rows of arithmetic —
-// halving b-side memory traffic, the bottleneck for the skinny matrices
-// convolution lowering produces. The per-row update expression is written
-// identically in the paired loop and the odd-row tail, so the row pairing
-// (like the worker split) never changes a single output bit. No zero-skip
-// branches: 0*NaN must stay NaN and dense inputs pay for a branch per
-// element otherwise.
+// Layout of the packed panels:
+//
+//   A panel (one 4-row micro-tile, all k):   ap[(p*4+r)*4 + lane] = a(i0+r, p)
+//     Each element is replicated across 4 lanes so the micro-kernel loads
+//     it with one 16-byte MOVUPS instead of a scalar load + shuffle —
+//     broadcasts would serialize on the shuffle port, loads dual-issue.
+//   B panel (one 4-column strip, all k):     bp[j0*k + p*4 + c] = b(p, j0+c)
+//     Column strips are stored back to back, so strip j0 starts at
+//     bp[j0*k] and streams contiguously over p.
+//
+// Bit-identity contract: every output element is reduced in exactly the
+// order the reference kernels use. Plain and transposed-A reduce k in
+// groups of four combined as one expression tree plus a scalar tail
+// (valid against the reference's k-blocking because gemmBlockK % 4 == 0);
+// transposed-B reduces strictly sequentially, with dst added once at the
+// end in accumulate mode. Row tiling, column strip order, worker splits,
+// and packing never touch the per-element order, so the packed kernels,
+// the reference kernels, and the serial path all produce identical bits.
+//
+// Fused epilogues: an optional bias-add + activation is applied to each
+// 4-row block as soon as its columns are complete — after the full k
+// reduction, matching the unfused "GEMM, then bias pass, then activation
+// pass" composition element for element while the block is still hot in
+// registers/L1.
 
-var (
-	// gemmBlockK is the reduction-panel height: rows of b (columns of a)
-	// processed per pass. 128 rows x 512 cols x 4 bytes = 256 KiB panel
-	// upper bound; typical m keeps it well inside L2.
-	gemmBlockK = 128
-	// gemmBlockJ is the output-column panel width.
-	gemmBlockJ = 512
+const (
+	// microM x microN is the register tile: 4 output rows x 4 output
+	// columns (one SSE vector wide), 4 accumulator vectors live.
+	microM = 4
+	microN = 4
+	// packedMinWork gates the packed path: below this many multiply-adds
+	// the packing traffic costs more than the micro-kernel saves, and the
+	// reference kernels win. Both paths are bit-identical, so the gate is
+	// a pure performance heuristic.
+	packedMinWork = 1 << 13
 )
 
-// gemmInto computes dst += a @ b for row-major a [n,k], b [k,m], dst [n,m].
-// Callers that want overwrite semantics must zero dst first.
-func gemmInto(dst, a, b []float32, n, k, m int) {
-	for j0 := 0; j0 < m; j0 += gemmBlockJ {
-		j1 := min(j0+gemmBlockJ, m)
-		for p0 := 0; p0 < k; p0 += gemmBlockK {
-			p1 := min(p0+gemmBlockK, k)
-			i := 0
-			for ; i+2 <= n; i += 2 {
-				ar0 := a[i*k : (i+1)*k]
-				ar1 := a[(i+1)*k : (i+2)*k]
-				d0 := dst[i*m+j0 : i*m+j1]
-				// Reslicing every panel to len(d0) lets the compiler prove
-				// all five loads in the inner loop in bounds from the single
-				// range check on d0.
-				d1 := dst[(i+1)*m+j0 : (i+1)*m+j1][:len(d0)]
-				p := p0
-				for ; p+4 <= p1; p += 4 {
-					a00, a01, a02, a03 := ar0[p], ar0[p+1], ar0[p+2], ar0[p+3]
-					a10, a11, a12, a13 := ar1[p], ar1[p+1], ar1[p+2], ar1[p+3]
-					b0 := b[p*m+j0 : p*m+j1][:len(d0)]
-					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(d0)]
-					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(d0)]
-					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(d0)]
-					for j := range d0 {
-						b0v, b1v, b2v, b3v := b0[j], b1[j], b2[j], b3[j]
-						d0[j] += a00*b0v + a01*b1v + a02*b2v + a03*b3v
-						d1[j] += a10*b0v + a11*b1v + a12*b2v + a13*b3v
-					}
-				}
-				for ; p < p1; p++ {
-					av0, av1 := ar0[p], ar1[p]
-					brow := b[p*m+j0 : p*m+j1][:len(d0)]
-					for j := range d0 {
-						d0[j] += av0 * brow[j]
-						d1[j] += av1 * brow[j]
-					}
+// gemmLayout selects which operand is logically transposed.
+type gemmLayout uint8
+
+const (
+	layPlain  gemmLayout = iota // dst = a [n,k] @ b [k,m]
+	layTransA                   // dst = aᵀ @ b for a [k,n], b [k,m]
+	layTransB                   // dst = a @ bᵀ for a [n,k], b [m,k]
+)
+
+// epilogue is a fused write-back transform: optional per-column bias
+// (dense layers), optional per-row bias (conv channels), then an
+// activation. Only meaningful in overwrite mode.
+type epilogue struct {
+	colBias []float32 // len m, added to every row; nil = none
+	rowBias []float32 // len n, rowBias[i] added across row i; nil = none
+	act     ActKind
+}
+
+// applyEpilogueRows applies ep to dst rows [lo, hi) of an [n, m] matrix.
+// Bias precedes activation, matching the unfused layer composition.
+func applyEpilogueRows(dst []float32, m, lo, hi int, ep *epilogue) {
+	if ep == nil {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		row := dst[i*m : (i+1)*m]
+		if ep.colBias != nil {
+			cb := ep.colBias[:len(row)]
+			for j := range row {
+				row[j] += cb[j]
+			}
+		}
+		if ep.rowBias != nil {
+			rb := ep.rowBias[i]
+			for j := range row {
+				row[j] += rb
+			}
+		}
+		switch ep.act {
+		case ActReLU:
+			for j, v := range row {
+				if !(v > 0) {
+					row[j] = 0
 				}
 			}
-			for ; i < n; i++ {
-				arow := a[i*k : (i+1)*k]
-				drow := dst[i*m+j0 : i*m+j1]
-				p := p0
-				for ; p+4 <= p1; p += 4 {
-					a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
-					b0 := b[p*m+j0 : p*m+j1][:len(drow)]
-					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(drow)]
-					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(drow)]
-					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(drow)]
-					for j := range drow {
-						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-					}
-				}
-				for ; p < p1; p++ {
-					av := arow[p]
-					brow := b[p*m+j0 : p*m+j1][:len(drow)]
-					for j := range drow {
-						drow[j] += av * brow[j]
-					}
-				}
+		case ActSigmoid:
+			for j, v := range row {
+				row[j] = Sigmoid32(v)
+			}
+		case ActTanh:
+			for j, v := range row {
+				row[j] = Tanh32(v)
 			}
 		}
 	}
 }
 
-// gemmTransAInto computes dst += aᵀ @ b for a [k,n], b [k,m], dst [n,m].
-// Rows i of dst read the strided column a[p*n+i]; the p-unroll amortizes
-// those strided loads across four contiguous b rows, and output rows are
-// paired so each b panel load feeds two rows. The lo/hi variant restricts
-// work to output rows [lo, hi) for parallel dispatch; the accumulation
-// order per element is identical for any split or pairing.
-func gemmTransAInto(dst, a, b []float32, n, k, m int) {
-	gemmTransASub(dst, a, b, n, k, m, 0, n)
+// packedWorthIt reports whether the packed path pays for the given shape.
+func packedWorthIt(n, k, m int) bool {
+	return n >= microM && m >= microN && k >= 2 && n*k*m >= packedMinWork
 }
 
-func gemmTransASub(dst, a, b []float32, n, k, m, lo, hi int) {
-	for j0 := 0; j0 < m; j0 += gemmBlockJ {
-		j1 := min(j0+gemmBlockJ, m)
-		for p0 := 0; p0 < k; p0 += gemmBlockK {
-			p1 := min(p0+gemmBlockK, k)
-			i := lo
-			for ; i+2 <= hi; i += 2 {
-				d0 := dst[i*m+j0 : i*m+j1]
-				// See gemmInto: reslicing to len(d0) lifts the inner-loop
-				// bounds checks onto the panel slice expressions.
-				d1 := dst[(i+1)*m+j0 : (i+1)*m+j1][:len(d0)]
-				p := p0
-				for ; p+4 <= p1; p += 4 {
-					a00, a10 := a[p*n+i], a[p*n+i+1]
-					a01, a11 := a[(p+1)*n+i], a[(p+1)*n+i+1]
-					a02, a12 := a[(p+2)*n+i], a[(p+2)*n+i+1]
-					a03, a13 := a[(p+3)*n+i], a[(p+3)*n+i+1]
-					b0 := b[p*m+j0 : p*m+j1][:len(d0)]
-					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(d0)]
-					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(d0)]
-					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(d0)]
-					for j := range d0 {
-						b0v, b1v, b2v, b3v := b0[j], b1[j], b2[j], b3[j]
-						d0[j] += a00*b0v + a01*b1v + a02*b2v + a03*b3v
-						d1[j] += a10*b0v + a11*b1v + a12*b2v + a13*b3v
-					}
+// gemmSerial runs one GEMM entirely on the calling goroutine. accum
+// selects dst += product (epilogues not allowed) versus dst = product;
+// overwrite mode never reads dst, so it may be dirty.
+func gemmSerial(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, ep *epilogue) {
+	if !packedWorthIt(n, k, m) {
+		gemmRefRange(dst, a, b, n, k, m, lay, accum, 0, n)
+		applyEpilogueRows(dst, m, 0, n, ep)
+		return
+	}
+	bp := getPackBuf(k * (m &^ 3))
+	packBRange(bp, b, k, m, lay, 0, m&^3)
+	gemmPackedRows(dst, a, b, bp, n, k, m, 0, n, lay, accum, ep)
+	putPackBuf(bp)
+}
+
+// gemmParallel is gemmSerial with output rows split across the worker
+// pool. The B panel is packed once (in parallel for large panels) and
+// shared read-only by every worker; each worker packs its own A tiles
+// into per-worker pooled scratch.
+func gemmParallel(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, ep *epilogue) {
+	minRows := gemmMinRows(k, m)
+	if rowWorkers(n, minRows) <= 1 {
+		gemmSerial(dst, a, b, n, k, m, lay, accum, ep)
+		return
+	}
+	if !packedWorthIt(n, k, m) {
+		parallelRows(n, minRows, func(lo, hi int) {
+			gemmRefRange(dst, a, b, n, k, m, lay, accum, lo, hi)
+			applyEpilogueRows(dst, m, lo, hi, ep)
+		})
+		return
+	}
+	m4 := m &^ 3
+	bp := getPackBuf(k * m4)
+	// Pack column strips in parallel when the panel is big enough; strips
+	// write disjoint bp regions.
+	packMin := 1 + minElemsPerWorker/(4*k+1)
+	if rowWorkers(m4/4, packMin) <= 1 {
+		packBRange(bp, b, k, m, lay, 0, m4)
+	} else {
+		parallelRows(m4/4, packMin, func(slo, shi int) {
+			packBRange(bp, b, k, m, lay, slo*4, shi*4)
+		})
+	}
+	parallelRowsAligned(n, microM, minRows, func(lo, hi int) {
+		gemmPackedRows(dst, a, b, bp, n, k, m, lo, hi, lay, accum, ep)
+	})
+	putPackBuf(bp)
+}
+
+// gemmRefRange runs the reference kernel for output rows [lo, hi).
+// Overwrite mode zeroes the region first where the reference kernel only
+// accumulates; 0 + x reproduces x's bits (including NaNs), so this is
+// identical to a true overwrite.
+func gemmRefRange(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	switch lay {
+	case layPlain:
+		if !accum {
+			clear(dst[lo*m : hi*m])
+		}
+		gemmRefInto(dst[lo*m:hi*m], a[lo*k:hi*k], b, hi-lo, k, m)
+	case layTransA:
+		if !accum {
+			clear(dst[lo*m : hi*m])
+		}
+		gemmRefTransASub(dst, a, b, n, k, m, lo, hi)
+	case layTransB:
+		if accum {
+			gemmRefTransBAcc(dst[lo*m:hi*m], a[lo*k:hi*k], b, hi-lo, k, m)
+		} else {
+			gemmRefTransBInto(dst[lo*m:hi*m], a[lo*k:hi*k], b, hi-lo, k, m)
+		}
+	}
+}
+
+// gemmPackedRows computes output rows [lo, hi) against a pre-packed B
+// panel bp. Full 4-row tiles go through the micro-kernel; the row tail
+// falls back to the reference kernels, and ragged columns [m&^3, m) use
+// edge kernels that replicate the reference reduction orders.
+func gemmPackedRows(dst, a, b, bp []float32, n, k, m, lo, hi int, lay gemmLayout, accum bool, ep *epilogue) {
+	m4 := m &^ 3
+	i0 := lo
+	if hi-lo >= microM {
+		ap := getPackBuf(4 * microM * k)
+		for ; i0+microM <= hi; i0 += microM {
+			packATile(ap, a, n, k, i0, lay)
+			if lay == layTransB {
+				for j0 := 0; j0 < m4; j0 += microN {
+					kernelSeq4x4(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
 				}
-				for ; p < p1; p++ {
-					av0, av1 := a[p*n+i], a[p*n+i+1]
-					brow := b[p*m+j0 : p*m+j1][:len(d0)]
-					for j := range d0 {
-						d0[j] += av0 * brow[j]
-						d1[j] += av1 * brow[j]
-					}
+			} else {
+				for j0 := 0; j0 < m4; j0 += microN {
+					kernelTree4x4(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
 				}
 			}
-			for ; i < hi; i++ {
-				drow := dst[i*m+j0 : i*m+j1]
-				p := p0
-				for ; p+4 <= p1; p += 4 {
-					a0 := a[p*n+i]
-					a1 := a[(p+1)*n+i]
-					a2 := a[(p+2)*n+i]
-					a3 := a[(p+3)*n+i]
-					b0 := b[p*m+j0 : p*m+j1][:len(drow)]
-					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(drow)]
-					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(drow)]
-					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(drow)]
-					for j := range drow {
-						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
-					}
+			gemmEdgeCols(dst, a, b, n, k, m, i0, i0+microM, lay, accum)
+			applyEpilogueRows(dst, m, i0, i0+microM, ep)
+		}
+		putPackBuf(ap)
+	}
+	if i0 < hi {
+		gemmRefRange(dst, a, b, n, k, m, lay, accum, i0, hi)
+		applyEpilogueRows(dst, m, i0, hi, ep)
+	}
+}
+
+// packATile packs the 4-row micro-tile starting at output row i0 into
+// ap, replicating each element across 4 lanes (see the layout comment at
+// the top of the file).
+func packATile(ap, a []float32, n, k, i0 int, lay gemmLayout) {
+	if lay == layTransA {
+		// a is [k, n]; tile rows are the strided columns i0..i0+3.
+		for p := 0; p < k; p++ {
+			s := a[p*n+i0 : p*n+i0+4]
+			q := ap[p*16 : p*16+16]
+			v := s[0]
+			q[0], q[1], q[2], q[3] = v, v, v, v
+			v = s[1]
+			q[4], q[5], q[6], q[7] = v, v, v, v
+			v = s[2]
+			q[8], q[9], q[10], q[11] = v, v, v, v
+			v = s[3]
+			q[12], q[13], q[14], q[15] = v, v, v, v
+		}
+		return
+	}
+	// Plain and transposed-B share the same [n, k] row-major a.
+	r0 := a[i0*k : (i0+1)*k]
+	r1 := a[(i0+1)*k : (i0+2)*k]
+	r2 := a[(i0+2)*k : (i0+3)*k]
+	r3 := a[(i0+3)*k : (i0+4)*k]
+	for p := 0; p < k; p++ {
+		q := ap[p*16 : p*16+16]
+		v := r0[p]
+		q[0], q[1], q[2], q[3] = v, v, v, v
+		v = r1[p]
+		q[4], q[5], q[6], q[7] = v, v, v, v
+		v = r2[p]
+		q[8], q[9], q[10], q[11] = v, v, v, v
+		v = r3[p]
+		q[12], q[13], q[14], q[15] = v, v, v, v
+	}
+}
+
+// packBRange packs B column strips [jlo, jhi) (both multiples of 4) into
+// bp. Plain/transposed-A read contiguous 4-element runs of b's rows;
+// transposed-B gathers down four b rows at once.
+func packBRange(bp, b []float32, k, m int, lay gemmLayout, jlo, jhi int) {
+	if lay == layTransB {
+		for j0 := jlo; j0 < jhi; j0 += 4 {
+			s0 := b[j0*k : (j0+1)*k]
+			s1 := b[(j0+1)*k : (j0+2)*k]
+			s2 := b[(j0+2)*k : (j0+3)*k]
+			s3 := b[(j0+3)*k : (j0+4)*k]
+			q := bp[j0*k : (j0+4)*k]
+			for p := 0; p < k; p++ {
+				q[p*4] = s0[p]
+				q[p*4+1] = s1[p]
+				q[p*4+2] = s2[p]
+				q[p*4+3] = s3[p]
+			}
+		}
+		return
+	}
+	for j0 := jlo; j0 < jhi; j0 += 4 {
+		q := bp[j0*k : (j0+4)*k]
+		for p := 0; p < k; p++ {
+			copy(q[p*4:p*4+4], b[p*m+j0:p*m+j0+4])
+		}
+	}
+}
+
+// gemmEdgeCols computes the ragged column remainder [m&^3, m) for output
+// rows [i0, i1), replicating the reference kernels' per-element reduction
+// order: 4-wide grouped expression trees for plain/transposed-A, the
+// dotPair/dotOne split reductions for transposed-B.
+func gemmEdgeCols(dst, a, b []float32, n, k, m, i0, i1 int, lay gemmLayout, accum bool) {
+	m4 := m &^ 3
+	if m4 == m {
+		return
+	}
+	switch lay {
+	case layPlain:
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : (i+1)*k]
+			for j := m4; j < m; j++ {
+				var c float32
+				if accum {
+					c = dst[i*m+j]
 				}
-				for ; p < p1; p++ {
-					av := a[p*n+i]
-					brow := b[p*m+j0 : p*m+j1][:len(drow)]
-					for j := range drow {
-						drow[j] += av * brow[j]
-					}
+				p := 0
+				for ; p+4 <= k; p += 4 {
+					c += arow[p]*b[p*m+j] + arow[p+1]*b[(p+1)*m+j] +
+						arow[p+2]*b[(p+2)*m+j] + arow[p+3]*b[(p+3)*m+j]
+				}
+				for ; p < k; p++ {
+					c += arow[p] * b[p*m+j]
+				}
+				dst[i*m+j] = c
+			}
+		}
+	case layTransA:
+		for i := i0; i < i1; i++ {
+			for j := m4; j < m; j++ {
+				var c float32
+				if accum {
+					c = dst[i*m+j]
+				}
+				p := 0
+				for ; p+4 <= k; p += 4 {
+					c += a[p*n+i]*b[p*m+j] + a[(p+1)*n+i]*b[(p+1)*m+j] +
+						a[(p+2)*n+i]*b[(p+2)*m+j] + a[(p+3)*n+i]*b[(p+3)*m+j]
+				}
+				for ; p < k; p++ {
+					c += a[p*n+i] * b[p*m+j]
+				}
+				dst[i*m+j] = c
+			}
+		}
+	case layTransB:
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : (i+1)*k]
+			j := m4
+			if j+2 <= m {
+				r0, r1 := dotPair(arow, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
+				if accum {
+					dst[i*m+j] += r0
+					dst[i*m+j+1] += r1
+				} else {
+					dst[i*m+j] = r0
+					dst[i*m+j+1] = r1
+				}
+				j += 2
+			}
+			if j < m {
+				r := dotOne(arow, b[j*k:(j+1)*k])
+				if accum {
+					dst[i*m+j] += r
+				} else {
+					dst[i*m+j] = r
 				}
 			}
 		}
 	}
-}
-
-// gemmTransBInto computes dst = a @ bᵀ for a [n,k], b [m,k], dst [n,m]
-// (overwrite, not accumulate: both operands stream row-wise so there is no
-// panel reuse to stage). Each output element is a dot product of two
-// contiguous rows; output columns are grouped four at a time and output
-// rows two at a time, so one streaming pass over four b rows feeds eight
-// dot products. The column grouping depends only on m and each output's
-// reduction order only on k — dotQuad2 and dotQuad accumulate every
-// element in the same sequential order — so results are identical for any
-// row split across workers and any pairing.
-func gemmTransBInto(dst, a, b []float32, n, k, m int) {
-	i := 0
-	for ; i+2 <= n; i += 2 {
-		ar0 := a[i*k : (i+1)*k]
-		ar1 := a[(i+1)*k : (i+2)*k]
-		d0 := dst[i*m : (i+1)*m]
-		d1 := dst[(i+1)*m : (i+2)*m]
-		j := 0
-		for ; j+4 <= m; j += 4 {
-			b0 := b[j*k : (j+1)*k]
-			b1 := b[(j+1)*k : (j+2)*k]
-			b2 := b[(j+2)*k : (j+3)*k]
-			b3 := b[(j+3)*k : (j+4)*k]
-			d0[j], d0[j+1], d0[j+2], d0[j+3],
-				d1[j], d1[j+1], d1[j+2], d1[j+3] = dotQuad2(ar0, ar1, b0, b1, b2, b3)
-		}
-		if j+2 <= m {
-			d0[j], d0[j+1] = dotPair(ar0, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
-			d1[j], d1[j+1] = dotPair(ar1, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
-			j += 2
-		}
-		if j < m {
-			d0[j] = dotOne(ar0, b[j*k:(j+1)*k])
-			d1[j] = dotOne(ar1, b[j*k:(j+1)*k])
-		}
-	}
-	for ; i < n; i++ {
-		arow := a[i*k : (i+1)*k]
-		drow := dst[i*m : (i+1)*m]
-		j := 0
-		for ; j+4 <= m; j += 4 {
-			b0 := b[j*k : (j+1)*k]
-			b1 := b[(j+1)*k : (j+2)*k]
-			b2 := b[(j+2)*k : (j+3)*k]
-			b3 := b[(j+3)*k : (j+4)*k]
-			drow[j], drow[j+1], drow[j+2], drow[j+3] = dotQuad(arow, b0, b1, b2, b3)
-		}
-		if j+2 <= m {
-			drow[j], drow[j+1] = dotPair(arow, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
-			j += 2
-		}
-		if j < m {
-			drow[j] = dotOne(arow, b[j*k:(j+1)*k])
-		}
-	}
-}
-
-// gemmTransBAcc is gemmTransBInto with accumulate semantics
-// (dst += a @ bᵀ), used where a transposed-B product is summed over a
-// batch. Same row pairing, column grouping, and per-element reduction
-// order.
-func gemmTransBAcc(dst, a, b []float32, n, k, m int) {
-	i := 0
-	for ; i+2 <= n; i += 2 {
-		ar0 := a[i*k : (i+1)*k]
-		ar1 := a[(i+1)*k : (i+2)*k]
-		d0 := dst[i*m : (i+1)*m]
-		d1 := dst[(i+1)*m : (i+2)*m]
-		j := 0
-		for ; j+4 <= m; j += 4 {
-			b0 := b[j*k : (j+1)*k]
-			b1 := b[(j+1)*k : (j+2)*k]
-			b2 := b[(j+2)*k : (j+3)*k]
-			b3 := b[(j+3)*k : (j+4)*k]
-			r00, r01, r02, r03, r10, r11, r12, r13 := dotQuad2(ar0, ar1, b0, b1, b2, b3)
-			d0[j] += r00
-			d0[j+1] += r01
-			d0[j+2] += r02
-			d0[j+3] += r03
-			d1[j] += r10
-			d1[j+1] += r11
-			d1[j+2] += r12
-			d1[j+3] += r13
-		}
-		if j+2 <= m {
-			r0, r1 := dotPair(ar0, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
-			d0[j] += r0
-			d0[j+1] += r1
-			r0, r1 = dotPair(ar1, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
-			d1[j] += r0
-			d1[j+1] += r1
-			j += 2
-		}
-		if j < m {
-			d0[j] += dotOne(ar0, b[j*k:(j+1)*k])
-			d1[j] += dotOne(ar1, b[j*k:(j+1)*k])
-		}
-	}
-	for ; i < n; i++ {
-		arow := a[i*k : (i+1)*k]
-		drow := dst[i*m : (i+1)*m]
-		j := 0
-		for ; j+4 <= m; j += 4 {
-			b0 := b[j*k : (j+1)*k]
-			b1 := b[(j+1)*k : (j+2)*k]
-			b2 := b[(j+2)*k : (j+3)*k]
-			b3 := b[(j+3)*k : (j+4)*k]
-			r0, r1, r2, r3 := dotQuad(arow, b0, b1, b2, b3)
-			drow[j] += r0
-			drow[j+1] += r1
-			drow[j+2] += r2
-			drow[j+3] += r3
-		}
-		if j+2 <= m {
-			r0, r1 := dotPair(arow, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
-			drow[j] += r0
-			drow[j+1] += r1
-			j += 2
-		}
-		if j < m {
-			drow[j] += dotOne(arow, b[j*k:(j+1)*k])
-		}
-	}
-}
-
-// dotQuad2 returns the dot products of two a rows against four b rows in
-// one streaming pass, so every loaded b element feeds two outputs — the
-// row-paired core of the transposed-B kernels. Eight accumulators, one per
-// output, each summed in plain sequential order; dotQuad mirrors that
-// order exactly for unpaired rows, so pairing never changes a bit.
-func dotQuad2(a0, a1, b0, b1, b2, b3 []float32) (r00, r01, r02, r03, r10, r11, r12, r13 float32) {
-	n := len(a0)
-	a1 = a1[:n]
-	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
-	for p := 0; p < n; p++ {
-		av0, av1 := a0[p], a1[p]
-		b0v, b1v, b2v, b3v := b0[p], b1[p], b2[p], b3[p]
-		r00 += av0 * b0v
-		r01 += av0 * b1v
-		r02 += av0 * b2v
-		r03 += av0 * b3v
-		r10 += av1 * b0v
-		r11 += av1 * b1v
-		r12 += av1 * b2v
-		r13 += av1 * b3v
-	}
-	return
-}
-
-// dotQuad returns (a·b0, a·b1, a·b2, a·b3): the single-row companion of
-// dotQuad2, with the identical sequential accumulation per output.
-func dotQuad(a, b0, b1, b2, b3 []float32) (r0, r1, r2, r3 float32) {
-	n := len(a)
-	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
-	for p := 0; p < n; p++ {
-		av := a[p]
-		r0 += av * b0[p]
-		r1 += av * b1[p]
-		r2 += av * b2[p]
-		r3 += av * b3[p]
-	}
-	return
-}
-
-// dotPair returns (a·b0, a·b1) with the canonical 4-way-split reduction.
-func dotPair(a, b0, b1 []float32) (float32, float32) {
-	var s00, s01, s02, s03 float32
-	var s10, s11, s12, s13 float32
-	p := 0
-	for ; p+4 <= len(a); p += 4 {
-		a0, a1, a2, a3 := a[p], a[p+1], a[p+2], a[p+3]
-		s00 += a0 * b0[p]
-		s01 += a1 * b0[p+1]
-		s02 += a2 * b0[p+2]
-		s03 += a3 * b0[p+3]
-		s10 += a0 * b1[p]
-		s11 += a1 * b1[p+1]
-		s12 += a2 * b1[p+2]
-		s13 += a3 * b1[p+3]
-	}
-	x := (s00 + s01) + (s02 + s03)
-	y := (s10 + s11) + (s12 + s13)
-	for ; p < len(a); p++ {
-		x += a[p] * b0[p]
-		y += a[p] * b1[p]
-	}
-	return x, y
-}
-
-// dotOne returns a·b with the same reduction order as dotPair.
-func dotOne(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
-	p := 0
-	for ; p+4 <= len(a); p += 4 {
-		s0 += a[p] * b[p]
-		s1 += a[p+1] * b[p+1]
-		s2 += a[p+2] * b[p+2]
-		s3 += a[p+3] * b[p+3]
-	}
-	s := (s0 + s1) + (s2 + s3)
-	for ; p < len(a); p++ {
-		s += a[p] * b[p]
-	}
-	return s
 }

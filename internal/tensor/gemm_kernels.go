@@ -1,0 +1,87 @@
+package tensor
+
+// Register-tiled 4x4 micro-kernels over the packed panel layout built by
+// packATile/packBRange (see gemm.go). Two reduction orders exist because
+// the reference kernels they must match bit-for-bit use two:
+//
+//   tree: k in groups of four combined as one expression tree, then a
+//         scalar tail; accumulate mode seeds the accumulators from dst
+//         (plain and transposed-A layouts).
+//   seq:  strictly sequential over k from zero; accumulate mode adds the
+//         finished sums to dst once at the end (transposed-B layout —
+//         dotQuad accumulates from zero and the caller does dst += r).
+//
+// kernelTree4x4/kernelSeq4x4 are variables so the amd64 build can install
+// SSE assembly versions (gemm_kernels_amd64.go) and tests can pin the
+// pure-Go versions to cross-check the two implementations bit-for-bit.
+// Both compute per-lane expressions identical to the Go source: 4-wide
+// SIMD across output columns j keeps each output element's reduction
+// order untouched, and no FMA is used (fused rounding would change bits).
+
+var (
+	kernelTree4x4 = microTree4x4Go
+	kernelSeq4x4  = microSeq4x4Go
+)
+
+// microTree4x4Go computes a 4x4 output tile dst[r*ldd+c] (r, c in 0..3)
+// from A tile ap (lane-replicated, 16 floats per k step) and B strip bp
+// (4 floats per k step), kc reduction steps, tree order.
+func microTree4x4Go(dst []float32, ldd int, ap, bp []float32, kc int, accum bool) {
+	for r := 0; r < microM; r++ {
+		d := dst[r*ldd : r*ldd+4]
+		var c0, c1, c2, c3 float32
+		if accum {
+			c0, c1, c2, c3 = d[0], d[1], d[2], d[3]
+		}
+		p := 0
+		for ; p+4 <= kc; p += 4 {
+			a0 := ap[(p*4+r)*4]
+			a1 := ap[((p+1)*4+r)*4]
+			a2 := ap[((p+2)*4+r)*4]
+			a3 := ap[((p+3)*4+r)*4]
+			b0 := bp[p*4 : p*4+4]
+			b1 := bp[(p+1)*4 : (p+1)*4+4]
+			b2 := bp[(p+2)*4 : (p+2)*4+4]
+			b3 := bp[(p+3)*4 : (p+3)*4+4]
+			c0 += a0*b0[0] + a1*b1[0] + a2*b2[0] + a3*b3[0]
+			c1 += a0*b0[1] + a1*b1[1] + a2*b2[1] + a3*b3[1]
+			c2 += a0*b0[2] + a1*b1[2] + a2*b2[2] + a3*b3[2]
+			c3 += a0*b0[3] + a1*b1[3] + a2*b2[3] + a3*b3[3]
+		}
+		for ; p < kc; p++ {
+			av := ap[(p*4+r)*4]
+			bq := bp[p*4 : p*4+4]
+			c0 += av * bq[0]
+			c1 += av * bq[1]
+			c2 += av * bq[2]
+			c3 += av * bq[3]
+		}
+		d[0], d[1], d[2], d[3] = c0, c1, c2, c3
+	}
+}
+
+// microSeq4x4Go is microTree4x4Go with the sequential reduction order of
+// dotQuad/dotQuad2: one product added per step, sums seeded from zero,
+// dst added at the end in accumulate mode.
+func microSeq4x4Go(dst []float32, ldd int, ap, bp []float32, kc int, accum bool) {
+	for r := 0; r < microM; r++ {
+		d := dst[r*ldd : r*ldd+4]
+		var c0, c1, c2, c3 float32
+		for p := 0; p < kc; p++ {
+			av := ap[(p*4+r)*4]
+			bq := bp[p*4 : p*4+4]
+			c0 += av * bq[0]
+			c1 += av * bq[1]
+			c2 += av * bq[2]
+			c3 += av * bq[3]
+		}
+		if accum {
+			d[0] += c0
+			d[1] += c1
+			d[2] += c2
+			d[3] += c3
+		} else {
+			d[0], d[1], d[2], d[3] = c0, c1, c2, c3
+		}
+	}
+}

@@ -1,0 +1,37 @@
+//go:build amd64
+
+package tensor
+
+// SSE micro-kernel bindings (gemm_micro_amd64.s). The assembly computes
+// the exact per-lane expressions of the Go kernels in gemm_kernels.go —
+// same grouping, same order, no FMA — so installing them changes no bits;
+// TestMicroKernelAsmMatchesGo cross-checks the two on every shape.
+
+//go:noescape
+func microTree4x4SSE(dst *float32, ldd int, ap, bp *float32, kc, accum int)
+
+//go:noescape
+func microSeq4x4SSE(dst *float32, ldd int, ap, bp *float32, kc, accum int)
+
+func microTree4x4Asm(dst []float32, ldd int, ap, bp []float32, kc int, accum bool) {
+	acc := 0
+	if accum {
+		acc = 1
+	}
+	// The caller guarantees len(dst) >= 3*ldd+4, len(ap) >= 16*kc,
+	// len(bp) >= 4*kc, kc >= 1.
+	microTree4x4SSE(&dst[0], ldd, &ap[0], &bp[0], kc, acc)
+}
+
+func microSeq4x4Asm(dst []float32, ldd int, ap, bp []float32, kc int, accum bool) {
+	acc := 0
+	if accum {
+		acc = 1
+	}
+	microSeq4x4SSE(&dst[0], ldd, &ap[0], &bp[0], kc, acc)
+}
+
+func init() {
+	kernelTree4x4 = microTree4x4Asm
+	kernelSeq4x4 = microSeq4x4Asm
+}

@@ -1,0 +1,283 @@
+// SSE micro-kernels for the packed GEMM core. See gemm_kernels.go for the
+// reduction-order contract and gemm.go for the packed panel layout.
+//
+// Both kernels compute a 4x4 output tile: 4 accumulator vectors X0-X3,
+// one per output row, 4 output columns per vector lane. The A panel is
+// lane-replicated (each a element stored 4x contiguously), so an A scalar
+// is one MOVUPS — no shuffle-port broadcast on the critical path. The B
+// strip holds one 4-column vector per reduction step.
+//
+// SSE only (MULPS/ADDPS are baseline amd64); explicitly no FMA — fused
+// rounding would change bits vs. the Go kernels and the references.
+//
+// Plan 9 operand order: OP src, dst  =>  dst = dst OP src.
+
+#include "textflag.h"
+
+// func microTree4x4SSE(dst *float32, ldd int, ap, bp *float32, kc, accum int)
+//
+// Tree order: k in groups of four, each group reduced as the expression
+// tree ((m0+m1)+m2)+m3 and added to the accumulator, then a scalar tail;
+// accum != 0 seeds the accumulators from dst.
+TEXT ·microTree4x4SSE(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	SHLQ $2, SI               // byte stride between dst rows
+	LEAQ (DI)(SI*1), R9       // dst row 1
+	LEAQ (R9)(SI*1), R10      // dst row 2
+	LEAQ (R10)(SI*1), R11     // dst row 3
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVQ accum+40(FP), DX
+
+	TESTQ DX, DX
+	JZ   tree_zero
+	MOVUPS (DI), X0
+	MOVUPS (R9), X1
+	MOVUPS (R10), X2
+	MOVUPS (R11), X3
+	JMP  tree_body
+
+tree_zero:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+tree_body:
+	CMPQ CX, $4
+	JL   tree_tail
+
+tree_block:
+	// B vectors for steps p..p+3.
+	MOVUPS (BX), X4
+	MOVUPS 16(BX), X5
+	MOVUPS 32(BX), X6
+	MOVUPS 48(BX), X7
+
+	// Row 0: a elements at step*64 + row*16 bytes.
+	MOVUPS (AX), X8
+	MULPS  X4, X8             // m0
+	MOVUPS 64(AX), X9
+	MULPS  X5, X9             // m1
+	MOVUPS 128(AX), X10
+	MULPS  X6, X10            // m2
+	MOVUPS 192(AX), X11
+	MULPS  X7, X11            // m3
+	ADDPS  X9, X8             // m0+m1
+	ADDPS  X10, X8            // (m0+m1)+m2
+	ADDPS  X11, X8            // ((m0+m1)+m2)+m3
+	ADDPS  X8, X0
+
+	// Row 1.
+	MOVUPS 16(AX), X8
+	MULPS  X4, X8
+	MOVUPS 80(AX), X9
+	MULPS  X5, X9
+	MOVUPS 144(AX), X10
+	MULPS  X6, X10
+	MOVUPS 208(AX), X11
+	MULPS  X7, X11
+	ADDPS  X9, X8
+	ADDPS  X10, X8
+	ADDPS  X11, X8
+	ADDPS  X8, X1
+
+	// Row 2.
+	MOVUPS 32(AX), X8
+	MULPS  X4, X8
+	MOVUPS 96(AX), X9
+	MULPS  X5, X9
+	MOVUPS 160(AX), X10
+	MULPS  X6, X10
+	MOVUPS 224(AX), X11
+	MULPS  X7, X11
+	ADDPS  X9, X8
+	ADDPS  X10, X8
+	ADDPS  X11, X8
+	ADDPS  X8, X2
+
+	// Row 3.
+	MOVUPS 48(AX), X8
+	MULPS  X4, X8
+	MOVUPS 112(AX), X9
+	MULPS  X5, X9
+	MOVUPS 176(AX), X10
+	MULPS  X6, X10
+	MOVUPS 240(AX), X11
+	MULPS  X7, X11
+	ADDPS  X9, X8
+	ADDPS  X10, X8
+	ADDPS  X11, X8
+	ADDPS  X8, X3
+
+	ADDQ $256, AX             // 4 steps x 16 floats
+	ADDQ $64, BX              // 4 steps x 4 floats
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JGE  tree_block
+
+tree_tail:
+	TESTQ CX, CX
+	JZ    tree_done
+
+tree_single:
+	MOVUPS (BX), X4
+	MOVUPS (AX), X8
+	MULPS  X4, X8
+	ADDPS  X8, X0
+	MOVUPS 16(AX), X9
+	MULPS  X4, X9
+	ADDPS  X9, X1
+	MOVUPS 32(AX), X10
+	MULPS  X4, X10
+	ADDPS  X10, X2
+	MOVUPS 48(AX), X11
+	MULPS  X4, X11
+	ADDPS  X11, X3
+	ADDQ   $64, AX
+	ADDQ   $16, BX
+	DECQ   CX
+	JNZ    tree_single
+
+tree_done:
+	MOVUPS X0, (DI)
+	MOVUPS X1, (R9)
+	MOVUPS X2, (R10)
+	MOVUPS X3, (R11)
+	RET
+
+// func microSeq4x4SSE(dst *float32, ldd int, ap, bp *float32, kc, accum int)
+//
+// Sequential order: one product added per reduction step, sums seeded
+// from zero; accum != 0 adds dst once at the end (matching the reference
+// transposed-B kernels, which compute dot products from zero and then
+// dst += r).
+TEXT ·microSeq4x4SSE(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	SHLQ $2, SI
+	LEAQ (DI)(SI*1), R9
+	LEAQ (R9)(SI*1), R10
+	LEAQ (R10)(SI*1), R11
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVQ accum+40(FP), DX
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+	CMPQ CX, $4
+	JL   seq_tail
+
+seq_block:
+	// Four steps, each added to the accumulator before the next —
+	// unrolling does not regroup the sums.
+	MOVUPS (BX), X4
+	MOVUPS 16(BX), X5
+	MOVUPS 32(BX), X6
+	MOVUPS 48(BX), X7
+
+	MOVUPS (AX), X8
+	MULPS  X4, X8
+	ADDPS  X8, X0
+	MOVUPS 16(AX), X9
+	MULPS  X4, X9
+	ADDPS  X9, X1
+	MOVUPS 32(AX), X10
+	MULPS  X4, X10
+	ADDPS  X10, X2
+	MOVUPS 48(AX), X11
+	MULPS  X4, X11
+	ADDPS  X11, X3
+
+	MOVUPS 64(AX), X8
+	MULPS  X5, X8
+	ADDPS  X8, X0
+	MOVUPS 80(AX), X9
+	MULPS  X5, X9
+	ADDPS  X9, X1
+	MOVUPS 96(AX), X10
+	MULPS  X5, X10
+	ADDPS  X10, X2
+	MOVUPS 112(AX), X11
+	MULPS  X5, X11
+	ADDPS  X11, X3
+
+	MOVUPS 128(AX), X8
+	MULPS  X6, X8
+	ADDPS  X8, X0
+	MOVUPS 144(AX), X9
+	MULPS  X6, X9
+	ADDPS  X9, X1
+	MOVUPS 160(AX), X10
+	MULPS  X6, X10
+	ADDPS  X10, X2
+	MOVUPS 176(AX), X11
+	MULPS  X6, X11
+	ADDPS  X11, X3
+
+	MOVUPS 192(AX), X8
+	MULPS  X7, X8
+	ADDPS  X8, X0
+	MOVUPS 208(AX), X9
+	MULPS  X7, X9
+	ADDPS  X9, X1
+	MOVUPS 224(AX), X10
+	MULPS  X7, X10
+	ADDPS  X10, X2
+	MOVUPS 240(AX), X11
+	MULPS  X7, X11
+	ADDPS  X11, X3
+
+	ADDQ $256, AX
+	ADDQ $64, BX
+	SUBQ $4, CX
+	CMPQ CX, $4
+	JGE  seq_block
+
+seq_tail:
+	TESTQ CX, CX
+	JZ    seq_fini
+
+seq_single:
+	MOVUPS (BX), X4
+	MOVUPS (AX), X8
+	MULPS  X4, X8
+	ADDPS  X8, X0
+	MOVUPS 16(AX), X9
+	MULPS  X4, X9
+	ADDPS  X9, X1
+	MOVUPS 32(AX), X10
+	MULPS  X4, X10
+	ADDPS  X10, X2
+	MOVUPS 48(AX), X11
+	MULPS  X4, X11
+	ADDPS  X11, X3
+	ADDQ   $64, AX
+	ADDQ   $16, BX
+	DECQ   CX
+	JNZ    seq_single
+
+seq_fini:
+	TESTQ DX, DX
+	JZ    seq_store
+	MOVUPS (DI), X8
+	ADDPS  X8, X0
+	MOVUPS (R9), X9
+	ADDPS  X9, X1
+	MOVUPS (R10), X10
+	ADDPS  X10, X2
+	MOVUPS (R11), X11
+	ADDPS  X11, X3
+
+seq_store:
+	MOVUPS X0, (DI)
+	MOVUPS X1, (R9)
+	MOVUPS X2, (R10)
+	MOVUPS X3, (R11)
+	RET

@@ -1,0 +1,292 @@
+package tensor
+
+import "testing"
+
+// The packed GEMM core promises bit-identity with the PR 1 reference
+// kernels for every layout, shape, accumulate mode, and worker split.
+// These tests force both paths over ragged shapes (dimensions coprime
+// with the 4x4 tile) and compare with zero tolerance.
+
+// refGEMM runs the reference kernels over all n output rows.
+func refGEMM(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool) {
+	gemmRefRange(dst, a, b, n, k, m, lay, accum, 0, n)
+}
+
+// packedGEMM forces the packed path (bypassing the packedWorthIt size
+// gate) when the shape admits at least one micro-tile, and otherwise
+// falls through to the same reference kernels gemmSerial would pick.
+func packedGEMM(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool) {
+	if n < microM || m < microN {
+		gemmRefRange(dst, a, b, n, k, m, lay, accum, 0, n)
+		return
+	}
+	bp := getPackBuf(k * (m &^ 3))
+	packBRange(bp, b, k, m, lay, 0, m&^3)
+	gemmPackedRows(dst, a, b, bp, n, k, m, 0, n, lay, accum, nil)
+	putPackBuf(bp)
+}
+
+func fillRand(rng *RNG, buf []float32) {
+	for i := range buf {
+		buf[i] = float32(rng.Norm())
+	}
+}
+
+var packedEquivShapes = [][3]int{
+	{1, 1, 1}, {4, 4, 4}, {5, 7, 9}, {13, 17, 31}, {2, 3, 2},
+	{4, 1, 4}, {4, 2, 4}, {6, 5, 1}, {1, 9, 47}, {7, 129, 5},
+	{4, 515, 8}, {37, 53, 41}, {16, 64, 16}, {9, 131, 258}, {64, 128, 96},
+}
+
+func TestPackedMatchesRefBitExact(t *testing.T) {
+	rng := NewRNG(41)
+	for _, s := range packedEquivShapes {
+		n, k, m := s[0], s[1], s[2]
+		for lay := layPlain; lay <= layTransB; lay++ {
+			a := make([]float32, n*k) // transA stores aᵀ [k, n]: same length
+			var b []float32
+			if lay == layTransB {
+				b = make([]float32, m*k)
+			} else {
+				b = make([]float32, k*m)
+			}
+			fillRand(rng, a)
+			fillRand(rng, b)
+			seed := make([]float32, n*m)
+			fillRand(rng, seed)
+			for _, accum := range []bool{false, true} {
+				want := append([]float32(nil), seed...)
+				got := append([]float32(nil), seed...)
+				refGEMM(want, a, b, n, k, m, lay, accum)
+				packedGEMM(got, a, b, n, k, m, lay, accum)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("lay=%d accum=%v shape=%v: packed[%d]=%v ref=%v",
+							lay, accum, s, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedParallelMatchesSerial pins that the public entry points are
+// split-invariant: worker counts 1 and 3 produce identical bits, and both
+// match the reference kernels.
+func TestPackedParallelMatchesSerial(t *testing.T) {
+	defer SetParallelism(1)
+	rng := NewRNG(42)
+	for _, s := range packedEquivShapes {
+		n, k, m := s[0], s[1], s[2]
+		a := RandNormal(rng, 0, 1, n, k)
+		b := RandNormal(rng, 0, 1, k, m)
+		at := Transpose(a) // [k, n]
+		bt := Transpose(b) // [m, k]
+
+		SetParallelism(1)
+		serial := [3]*Tensor{MatMul(a, b), MatMulTransA(at, b), MatMulTransB(a, bt)}
+		SetParallelism(3)
+		parallel := [3]*Tensor{MatMul(a, b), MatMulTransA(at, b), MatMulTransB(a, bt)}
+		names := [3]string{"MatMul", "MatMulTransA", "MatMulTransB"}
+		for i := range serial {
+			if !Equal(serial[i], parallel[i], 0) {
+				t.Fatalf("%s %v: parallel differs from serial", names[i], s)
+			}
+		}
+
+		// All three layouts compute the same product; the reference plain
+		// kernel over a zeroed destination is the shared ground truth.
+		want := make([]float32, n*m)
+		refGEMM(want, a.Data(), b.Data(), n, k, m, layPlain, false)
+		if got := serial[0].Data(); !float32sEqual(got, want) {
+			t.Fatalf("MatMul %v differs from reference kernel", s)
+		}
+	}
+}
+
+func float32sEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMicroKernelAsmMatchesGo cross-checks the installed micro-kernels
+// (SSE assembly on amd64) against the pure-Go reference kernels on the
+// same packed panels. On platforms without assembly kernels the two are
+// the same function and the test is a tautology.
+func TestMicroKernelAsmMatchesGo(t *testing.T) {
+	installedTree, installedSeq := kernelTree4x4, kernelSeq4x4
+	defer func() {
+		kernelTree4x4, kernelSeq4x4 = installedTree, installedSeq
+	}()
+	rng := NewRNG(43)
+	for _, s := range packedEquivShapes {
+		n, k, m := s[0], s[1], s[2]
+		if n < microM || m < microN {
+			continue
+		}
+		a := make([]float32, n*k)
+		b := make([]float32, k*m)
+		fillRand(rng, a)
+		fillRand(rng, b)
+		seed := make([]float32, n*m)
+		fillRand(rng, seed)
+		for lay := layPlain; lay <= layTransB; lay++ {
+			bm := b
+			if lay == layTransB {
+				bm = b[:m*k]
+			}
+			for _, accum := range []bool{false, true} {
+				kernelTree4x4, kernelSeq4x4 = installedTree, installedSeq
+				installed := append([]float32(nil), seed...)
+				packedGEMM(installed, a, bm, n, k, m, lay, accum)
+				kernelTree4x4, kernelSeq4x4 = microTree4x4Go, microSeq4x4Go
+				pure := append([]float32(nil), seed...)
+				packedGEMM(pure, a, bm, n, k, m, lay, accum)
+				if !float32sEqual(installed, pure) {
+					t.Fatalf("lay=%d accum=%v shape=%v: installed kernel differs from Go kernel", lay, accum, s)
+				}
+			}
+		}
+	}
+}
+
+// TestGEMMNaNThroughPacked pins that the packed path propagates NaN like
+// the reference kernels: no zero-skip shortcuts.
+func TestGEMMNaNThroughPacked(t *testing.T) {
+	rng := NewRNG(44)
+	n, k, m := 8, 16, 8
+	a := make([]float32, n*k)
+	b := make([]float32, k*m)
+	fillRand(rng, a)
+	fillRand(rng, b)
+	a[3*k+7] = nan32()
+	for lay := layPlain; lay <= layTransB; lay++ {
+		want := make([]float32, n*m)
+		got := make([]float32, n*m)
+		refGEMM(want, a, b, n, k, m, lay, false)
+		packedGEMM(got, a, b, n, k, m, lay, false)
+		sawNaN := false
+		for i := range want {
+			wNaN, gNaN := want[i] != want[i], got[i] != got[i]
+			if wNaN != gNaN {
+				t.Fatalf("lay=%d: NaN placement differs at %d", lay, i)
+			}
+			if !wNaN && want[i] != got[i] {
+				t.Fatalf("lay=%d: value differs at %d", lay, i)
+			}
+			sawNaN = sawNaN || wNaN
+		}
+		if !sawNaN {
+			t.Fatalf("lay=%d: expected NaN contamination", lay)
+		}
+	}
+}
+
+func nan32() float32 {
+	z := float32(0)
+	return z / z
+}
+
+// TestMatMulBiasActMatchesUnfused pins the fused epilogue against the
+// unfused composition with zero tolerance, for every activation.
+func TestMatMulBiasActMatchesUnfused(t *testing.T) {
+	defer SetParallelism(1)
+	rng := NewRNG(45)
+	for _, workers := range []int{1, 3} {
+		SetParallelism(workers)
+		for _, s := range [][3]int{{5, 7, 9}, {16, 64, 16}, {33, 65, 13}} {
+			n, k, m := s[0], s[1], s[2]
+			a := RandNormal(rng, 0, 1, n, k)
+			b := RandNormal(rng, 0, 1, k, m)
+			bias := RandNormal(rng, 0, 1, m)
+			for _, act := range []ActKind{ActNone, ActReLU, ActSigmoid, ActTanh} {
+				want := MatMul(a, b)
+				AddRowBroadcastInPlace(want, bias)
+				switch act {
+				case ActReLU:
+					for i, v := range want.Data() {
+						if !(v > 0) {
+							want.Data()[i] = 0
+						}
+					}
+				case ActSigmoid:
+					for i, v := range want.Data() {
+						want.Data()[i] = Sigmoid32(v)
+					}
+				case ActTanh:
+					for i, v := range want.Data() {
+						want.Data()[i] = Tanh32(v)
+					}
+				}
+				got := MatMulBiasAct(a, b, bias, act)
+				if !Equal(got, want, 0) {
+					t.Fatalf("MatMulBiasAct(%v, %v, workers=%d) differs from unfused", s, act, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestPackBuffersSeparateSizeClass pins the satellite fix: pack scratch
+// lives in its own size classes and never surfaces as (or displaces) a
+// tensor buffer.
+func TestPackBuffersSeparateSizeClass(t *testing.T) {
+	var p Pool
+	buf := p.getPack(100)
+	if len(buf) != 100 {
+		t.Fatalf("getPack(100) returned len %d", len(buf))
+	}
+	p.putPack(buf)
+
+	// A tensor request of the same size class must not be served from the
+	// pack free list.
+	tt := p.Get(100)
+	if &tt.Data()[0] == &buf[:1][0] {
+		t.Fatal("tensor Get returned a pack buffer")
+	}
+	if _, hits, _ := p.gets.Load(), p.hits.Load(), 0; hits != 0 {
+		t.Fatalf("tensor Get hit the free list (%d hits); pack buffers leaked into tensor buckets", hits)
+	}
+
+	// The pack request, however, is served from the pack free list.
+	buf2 := p.getPack(90)
+	if &buf2[0] != &buf[:1][0] {
+		t.Fatal("getPack did not reuse the released pack buffer")
+	}
+	if gets, hits := p.packGets.Load(), p.packHits.Load(); gets != 2 || hits != 1 {
+		t.Fatalf("pack stats gets=%d hits=%d, want 2/1", gets, hits)
+	}
+
+	// Tensor releases must not surface as pack buffers either.
+	tt2 := p.Get(100)
+	p.put(tt2)
+	buf3 := p.getPack(100)
+	if &buf3[0] == &tt2.Data()[0] {
+		t.Fatal("getPack returned a released tensor buffer")
+	}
+
+	// The shared pool's PackStats counter moves with the packed GEMM and
+	// PoolStats does not double-count pack traffic.
+	g0, _ := PackStats()
+	tg0, _, _ := PoolStats()
+	a := New(32, 64)
+	b := New(64, 32)
+	fillRand(NewRNG(46), a.Data())
+	fillRand(NewRNG(47), b.Data())
+	MatMul(a, b).Release()
+	g1, _ := PackStats()
+	tg1, _, _ := PoolStats()
+	if g1 <= g0 {
+		t.Fatal("packed MatMul did not request pack scratch")
+	}
+	if tg1-tg0 != 1 {
+		t.Fatalf("packed MatMul made %d tensor pool requests, want 1 (the output)", tg1-tg0)
+	}
+}

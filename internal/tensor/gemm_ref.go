@@ -1,0 +1,381 @@
+package tensor
+
+// Reference cache-blocked GEMM kernels. These are the PR 1 kernels kept
+// verbatim: they define the per-element reduction order that the packed
+// kernels in gemm.go must reproduce bit-for-bit. They still run in
+// production — for shapes too small to tile, for ragged row tails, and as
+// the portable fallback — so the equivalence is between two live paths,
+// not against a museum copy.
+//
+// All three layouts (plain, transposed-A, transposed-B) accumulate with a
+// fixed order that depends only on the reduction index and the block
+// constants below — never on the worker count — so splitting output rows
+// across goroutines is bit-identical to the serial path.
+//
+// Blocking keeps a [gemmBlockK x gemmBlockJ] panel of b resident in L1/L2
+// while it is reused across many rows of a; the k-unrolled inner loops cut
+// loop overhead and let the compiler keep four b-rows' bounds checks
+// hoisted. On top of that, the accumulate kernels process output rows in
+// pairs so each loaded b panel element feeds two rows of arithmetic —
+// halving b-side memory traffic, the bottleneck for the skinny matrices
+// convolution lowering produces. The per-row update expression is written
+// identically in the paired loop and the odd-row tail, so the row pairing
+// (like the worker split) never changes a single output bit. No zero-skip
+// branches: 0*NaN must stay NaN and dense inputs pay for a branch per
+// element otherwise.
+
+var (
+	// gemmBlockK is the reduction-panel height: rows of b (columns of a)
+	// processed per pass. 128 rows x 512 cols x 4 bytes = 256 KiB panel
+	// upper bound; typical m keeps it well inside L2.
+	//
+	// Invariant relied on by the packed kernels: gemmBlockK % 4 == 0.
+	// The reference kernels reduce k in panels, each panel as 4-wide
+	// grouped steps plus a singles tail; with the panel height a multiple
+	// of 4, the global sequence of group sizes over the whole reduction is
+	// the same as an unblocked 4-wide grouping, which is exactly what the
+	// full-k packed micro-kernel computes.
+	gemmBlockK = 128
+	// gemmBlockJ is the output-column panel width.
+	gemmBlockJ = 512
+)
+
+// gemmRefInto computes dst += a @ b for row-major a [n,k], b [k,m],
+// dst [n,m]. Callers that want overwrite semantics must zero dst first.
+func gemmRefInto(dst, a, b []float32, n, k, m int) {
+	for j0 := 0; j0 < m; j0 += gemmBlockJ {
+		j1 := min(j0+gemmBlockJ, m)
+		for p0 := 0; p0 < k; p0 += gemmBlockK {
+			p1 := min(p0+gemmBlockK, k)
+			i := 0
+			for ; i+2 <= n; i += 2 {
+				ar0 := a[i*k : (i+1)*k]
+				ar1 := a[(i+1)*k : (i+2)*k]
+				d0 := dst[i*m+j0 : i*m+j1]
+				// Reslicing every panel to len(d0) lets the compiler prove
+				// all five loads in the inner loop in bounds from the single
+				// range check on d0.
+				d1 := dst[(i+1)*m+j0 : (i+1)*m+j1][:len(d0)]
+				p := p0
+				for ; p+4 <= p1; p += 4 {
+					a00, a01, a02, a03 := ar0[p], ar0[p+1], ar0[p+2], ar0[p+3]
+					a10, a11, a12, a13 := ar1[p], ar1[p+1], ar1[p+2], ar1[p+3]
+					b0 := b[p*m+j0 : p*m+j1][:len(d0)]
+					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(d0)]
+					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(d0)]
+					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(d0)]
+					for j := range d0 {
+						b0v, b1v, b2v, b3v := b0[j], b1[j], b2[j], b3[j]
+						d0[j] += a00*b0v + a01*b1v + a02*b2v + a03*b3v
+						d1[j] += a10*b0v + a11*b1v + a12*b2v + a13*b3v
+					}
+				}
+				for ; p < p1; p++ {
+					av0, av1 := ar0[p], ar1[p]
+					brow := b[p*m+j0 : p*m+j1][:len(d0)]
+					for j := range d0 {
+						d0[j] += av0 * brow[j]
+						d1[j] += av1 * brow[j]
+					}
+				}
+			}
+			for ; i < n; i++ {
+				arow := a[i*k : (i+1)*k]
+				drow := dst[i*m+j0 : i*m+j1]
+				p := p0
+				for ; p+4 <= p1; p += 4 {
+					a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+					b0 := b[p*m+j0 : p*m+j1][:len(drow)]
+					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(drow)]
+					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(drow)]
+					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(drow)]
+					for j := range drow {
+						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; p < p1; p++ {
+					av := arow[p]
+					brow := b[p*m+j0 : p*m+j1][:len(drow)]
+					for j := range drow {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmRefTransASub computes dst += aᵀ @ b restricted to output rows
+// [lo, hi) for a [k,n], b [k,m], dst [n,m]. Rows i of dst read the strided
+// column a[p*n+i]; the p-unroll amortizes those strided loads across four
+// contiguous b rows, and output rows are paired so each b panel load feeds
+// two rows. The accumulation order per element is identical for any split
+// or pairing.
+func gemmRefTransASub(dst, a, b []float32, n, k, m, lo, hi int) {
+	for j0 := 0; j0 < m; j0 += gemmBlockJ {
+		j1 := min(j0+gemmBlockJ, m)
+		for p0 := 0; p0 < k; p0 += gemmBlockK {
+			p1 := min(p0+gemmBlockK, k)
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				d0 := dst[i*m+j0 : i*m+j1]
+				// See gemmRefInto: reslicing to len(d0) lifts the inner-loop
+				// bounds checks onto the panel slice expressions.
+				d1 := dst[(i+1)*m+j0 : (i+1)*m+j1][:len(d0)]
+				p := p0
+				for ; p+4 <= p1; p += 4 {
+					a00, a10 := a[p*n+i], a[p*n+i+1]
+					a01, a11 := a[(p+1)*n+i], a[(p+1)*n+i+1]
+					a02, a12 := a[(p+2)*n+i], a[(p+2)*n+i+1]
+					a03, a13 := a[(p+3)*n+i], a[(p+3)*n+i+1]
+					b0 := b[p*m+j0 : p*m+j1][:len(d0)]
+					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(d0)]
+					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(d0)]
+					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(d0)]
+					for j := range d0 {
+						b0v, b1v, b2v, b3v := b0[j], b1[j], b2[j], b3[j]
+						d0[j] += a00*b0v + a01*b1v + a02*b2v + a03*b3v
+						d1[j] += a10*b0v + a11*b1v + a12*b2v + a13*b3v
+					}
+				}
+				for ; p < p1; p++ {
+					av0, av1 := a[p*n+i], a[p*n+i+1]
+					brow := b[p*m+j0 : p*m+j1][:len(d0)]
+					for j := range d0 {
+						d0[j] += av0 * brow[j]
+						d1[j] += av1 * brow[j]
+					}
+				}
+			}
+			for ; i < hi; i++ {
+				drow := dst[i*m+j0 : i*m+j1]
+				p := p0
+				for ; p+4 <= p1; p += 4 {
+					a0 := a[p*n+i]
+					a1 := a[(p+1)*n+i]
+					a2 := a[(p+2)*n+i]
+					a3 := a[(p+3)*n+i]
+					b0 := b[p*m+j0 : p*m+j1][:len(drow)]
+					b1 := b[(p+1)*m+j0 : (p+1)*m+j1][:len(drow)]
+					b2 := b[(p+2)*m+j0 : (p+2)*m+j1][:len(drow)]
+					b3 := b[(p+3)*m+j0 : (p+3)*m+j1][:len(drow)]
+					for j := range drow {
+						drow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; p < p1; p++ {
+					av := a[p*n+i]
+					brow := b[p*m+j0 : p*m+j1][:len(drow)]
+					for j := range drow {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmRefTransBInto computes dst = a @ bᵀ for a [n,k], b [m,k], dst [n,m]
+// (overwrite, not accumulate: both operands stream row-wise so there is no
+// panel reuse to stage). Each output element is a dot product of two
+// contiguous rows; output columns are grouped four at a time and output
+// rows two at a time, so one streaming pass over four b rows feeds eight
+// dot products. The column grouping depends only on m and each output's
+// reduction order only on k — dotQuad2 and dotQuad accumulate every
+// element in the same sequential order — so results are identical for any
+// row split across workers and any pairing.
+func gemmRefTransBInto(dst, a, b []float32, n, k, m int) {
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		ar0 := a[i*k : (i+1)*k]
+		ar1 := a[(i+1)*k : (i+2)*k]
+		d0 := dst[i*m : (i+1)*m]
+		d1 := dst[(i+1)*m : (i+2)*m]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			d0[j], d0[j+1], d0[j+2], d0[j+3],
+				d1[j], d1[j+1], d1[j+2], d1[j+3] = dotQuad2(ar0, ar1, b0, b1, b2, b3)
+		}
+		if j+2 <= m {
+			d0[j], d0[j+1] = dotPair(ar0, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
+			d1[j], d1[j+1] = dotPair(ar1, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
+			j += 2
+		}
+		if j < m {
+			d0[j] = dotOne(ar0, b[j*k:(j+1)*k])
+			d1[j] = dotOne(ar1, b[j*k:(j+1)*k])
+		}
+	}
+	for ; i < n; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*m : (i+1)*m]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = dotQuad(arow, b0, b1, b2, b3)
+		}
+		if j+2 <= m {
+			drow[j], drow[j+1] = dotPair(arow, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
+			j += 2
+		}
+		if j < m {
+			drow[j] = dotOne(arow, b[j*k:(j+1)*k])
+		}
+	}
+}
+
+// gemmRefTransBAcc is gemmRefTransBInto with accumulate semantics
+// (dst += a @ bᵀ), used where a transposed-B product is summed over a
+// batch. Same row pairing, column grouping, and per-element reduction
+// order.
+func gemmRefTransBAcc(dst, a, b []float32, n, k, m int) {
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		ar0 := a[i*k : (i+1)*k]
+		ar1 := a[(i+1)*k : (i+2)*k]
+		d0 := dst[i*m : (i+1)*m]
+		d1 := dst[(i+1)*m : (i+2)*m]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			r00, r01, r02, r03, r10, r11, r12, r13 := dotQuad2(ar0, ar1, b0, b1, b2, b3)
+			d0[j] += r00
+			d0[j+1] += r01
+			d0[j+2] += r02
+			d0[j+3] += r03
+			d1[j] += r10
+			d1[j+1] += r11
+			d1[j+2] += r12
+			d1[j+3] += r13
+		}
+		if j+2 <= m {
+			r0, r1 := dotPair(ar0, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
+			d0[j] += r0
+			d0[j+1] += r1
+			r0, r1 = dotPair(ar1, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
+			d1[j] += r0
+			d1[j+1] += r1
+			j += 2
+		}
+		if j < m {
+			d0[j] += dotOne(ar0, b[j*k:(j+1)*k])
+			d1[j] += dotOne(ar1, b[j*k:(j+1)*k])
+		}
+	}
+	for ; i < n; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*m : (i+1)*m]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			r0, r1, r2, r3 := dotQuad(arow, b0, b1, b2, b3)
+			drow[j] += r0
+			drow[j+1] += r1
+			drow[j+2] += r2
+			drow[j+3] += r3
+		}
+		if j+2 <= m {
+			r0, r1 := dotPair(arow, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
+			drow[j] += r0
+			drow[j+1] += r1
+			j += 2
+		}
+		if j < m {
+			drow[j] += dotOne(arow, b[j*k:(j+1)*k])
+		}
+	}
+}
+
+// dotQuad2 returns the dot products of two a rows against four b rows in
+// one streaming pass, so every loaded b element feeds two outputs — the
+// row-paired core of the transposed-B kernels. Eight accumulators, one per
+// output, each summed in plain sequential order; dotQuad mirrors that
+// order exactly for unpaired rows, so pairing never changes a bit.
+func dotQuad2(a0, a1, b0, b1, b2, b3 []float32) (r00, r01, r02, r03, r10, r11, r12, r13 float32) {
+	n := len(a0)
+	a1 = a1[:n]
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for p := 0; p < n; p++ {
+		av0, av1 := a0[p], a1[p]
+		b0v, b1v, b2v, b3v := b0[p], b1[p], b2[p], b3[p]
+		r00 += av0 * b0v
+		r01 += av0 * b1v
+		r02 += av0 * b2v
+		r03 += av0 * b3v
+		r10 += av1 * b0v
+		r11 += av1 * b1v
+		r12 += av1 * b2v
+		r13 += av1 * b3v
+	}
+	return
+}
+
+// dotQuad returns (a·b0, a·b1, a·b2, a·b3): the single-row companion of
+// dotQuad2, with the identical sequential accumulation per output.
+func dotQuad(a, b0, b1, b2, b3 []float32) (r0, r1, r2, r3 float32) {
+	n := len(a)
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for p := 0; p < n; p++ {
+		av := a[p]
+		r0 += av * b0[p]
+		r1 += av * b1[p]
+		r2 += av * b2[p]
+		r3 += av * b3[p]
+	}
+	return
+}
+
+// dotPair returns (a·b0, a·b1) with the canonical 4-way-split reduction.
+func dotPair(a, b0, b1 []float32) (float32, float32) {
+	var s00, s01, s02, s03 float32
+	var s10, s11, s12, s13 float32
+	p := 0
+	for ; p+4 <= len(a); p += 4 {
+		a0, a1, a2, a3 := a[p], a[p+1], a[p+2], a[p+3]
+		s00 += a0 * b0[p]
+		s01 += a1 * b0[p+1]
+		s02 += a2 * b0[p+2]
+		s03 += a3 * b0[p+3]
+		s10 += a0 * b1[p]
+		s11 += a1 * b1[p+1]
+		s12 += a2 * b1[p+2]
+		s13 += a3 * b1[p+3]
+	}
+	x := (s00 + s01) + (s02 + s03)
+	y := (s10 + s11) + (s12 + s13)
+	for ; p < len(a); p++ {
+		x += a[p] * b0[p]
+		y += a[p] * b1[p]
+	}
+	return x, y
+}
+
+// dotOne returns a·b with the same reduction order as dotPair.
+func dotOne(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	p := 0
+	for ; p+4 <= len(a); p += 4 {
+		s0 += a[p] * b[p]
+		s1 += a[p+1] * b[p+1]
+		s2 += a[p+2] * b[p+2]
+		s3 += a[p+3] * b[p+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; p < len(a); p++ {
+		s += a[p] * b[p]
+	}
+	return s
+}

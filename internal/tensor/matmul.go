@@ -40,99 +40,78 @@ func checkDst(dst *Tensor, n, m int, name string) {
 }
 
 // MatMul returns a @ b for 2-D tensors a [N, K] and b [K, M], computed with
-// the blocked kernel and row-parallel dispatch.
+// the packed kernel and row-parallel dispatch. The output is written in
+// overwrite mode, so the pooled buffer skips its zero-fill.
 func MatMul(a, b *Tensor) *Tensor {
-	n, _, m := checkMatMul(a, b, "MatMul", false, false)
-	out := Acquire(n, m)
-	matMulInto(out, a, b)
+	n, k, m := checkMatMul(a, b, "MatMul", false, false)
+	out := acquireDirty(n, m)
+	gemmParallel(out.data, a.data, b.data, n, k, m, layPlain, false, nil)
+	return out
+}
+
+// MatMulBiasAct returns act(a @ b + bias) with the bias broadcast across
+// rows and the activation fused into the GEMM write-back. bias may be nil
+// (no bias) and act ActNone (no activation); the result is bit-identical
+// to MatMul followed by AddRowBroadcastInPlace followed by the standalone
+// activation.
+func MatMulBiasAct(a, b, bias *Tensor, act ActKind) *Tensor {
+	n, k, m := checkMatMul(a, b, "MatMulBiasAct", false, false)
+	var ep *epilogue
+	if bias != nil {
+		if bias.Rank() != 1 || bias.shape[0] != m {
+			panic(fmt.Sprintf("tensor: MatMulBiasAct bias %v, want [%d]", bias.shape, m))
+		}
+		ep = &epilogue{colBias: bias.data, act: act}
+	} else if act != ActNone {
+		ep = &epilogue{act: act}
+	}
+	out := acquireDirty(n, m)
+	gemmParallel(out.data, a.data, b.data, n, k, m, layPlain, false, ep)
 	return out
 }
 
 // MatMulInto computes dst = a @ b into the caller's buffer and returns dst.
 func MatMulInto(dst, a, b *Tensor) *Tensor {
-	n, _, m := checkMatMul(a, b, "MatMulInto", false, false)
+	n, k, m := checkMatMul(a, b, "MatMulInto", false, false)
 	checkDst(dst, n, m, "MatMulInto")
-	dst.Zero()
-	matMulInto(dst, a, b)
+	gemmParallel(dst.data, a.data, b.data, n, k, m, layPlain, false, nil)
 	return dst
-}
-
-func matMulInto(dst, a, b *Tensor) {
-	n, k := a.shape[0], a.shape[1]
-	m := b.shape[1]
-	// The serial path calls the kernel directly; building the dispatch
-	// closure would heap-allocate even when no worker ever runs it.
-	if rowWorkers(n, gemmMinRows(k, m)) <= 1 {
-		gemmInto(dst.data, a.data, b.data, n, k, m)
-		return
-	}
-	parallelRows(n, gemmMinRows(k, m), func(lo, hi int) {
-		gemmInto(dst.data[lo*m:hi*m], a.data[lo*k:hi*k], b.data, hi-lo, k, m)
-	})
 }
 
 // MatMulTransA returns aᵀ @ b for a [K, N] and b [K, M], producing [N, M]
 // without materializing the transpose. Used for weight gradients.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	n, _, m := checkMatMul(a, b, "MatMulTransA", true, false)
-	out := Acquire(n, m)
-	matMulTransAInto(out, a, b)
+	n, k, m := checkMatMul(a, b, "MatMulTransA", true, false)
+	out := acquireDirty(n, m)
+	gemmParallel(out.data, a.data, b.data, n, k, m, layTransA, false, nil)
 	return out
 }
 
 // MatMulTransAInto computes dst = aᵀ @ b into the caller's buffer and
 // returns dst.
 func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
-	n, _, m := checkMatMul(a, b, "MatMulTransAInto", true, false)
+	n, k, m := checkMatMul(a, b, "MatMulTransAInto", true, false)
 	checkDst(dst, n, m, "MatMulTransAInto")
-	dst.Zero()
-	matMulTransAInto(dst, a, b)
+	gemmParallel(dst.data, a.data, b.data, n, k, m, layTransA, false, nil)
 	return dst
-}
-
-func matMulTransAInto(dst, a, b *Tensor) {
-	k, n := a.shape[0], a.shape[1]
-	m := b.shape[1]
-	if rowWorkers(n, gemmMinRows(k, m)) <= 1 {
-		gemmTransASub(dst.data, a.data, b.data, n, k, m, 0, n)
-		return
-	}
-	parallelRows(n, gemmMinRows(k, m), func(lo, hi int) {
-		// Workers own output rows [lo, hi); the kernel reads column i of a
-		// as the strided a[p*n+i], so it takes the full matrices plus the
-		// row range rather than subslices.
-		gemmTransASub(dst.data, a.data, b.data, n, k, m, lo, hi)
-	})
 }
 
 // MatMulTransB returns a @ bᵀ for a [N, K] and b [M, K], producing [N, M]
 // without materializing the transpose. Used for input gradients.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	n, _, m := checkMatMul(a, b, "MatMulTransB", false, true)
+	n, k, m := checkMatMul(a, b, "MatMulTransB", false, true)
 	out := acquireDirty(n, m)
-	matMulTransBInto(out, a, b)
+	gemmParallel(out.data, a.data, b.data, n, k, m, layTransB, false, nil)
 	return out
 }
 
 // MatMulTransBInto computes dst = a @ bᵀ into the caller's buffer and
 // returns dst.
 func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
-	n, _, m := checkMatMul(a, b, "MatMulTransBInto", false, true)
+	n, k, m := checkMatMul(a, b, "MatMulTransBInto", false, true)
 	checkDst(dst, n, m, "MatMulTransBInto")
-	matMulTransBInto(dst, a, b)
+	gemmParallel(dst.data, a.data, b.data, n, k, m, layTransB, false, nil)
 	return dst
-}
-
-func matMulTransBInto(dst, a, b *Tensor) {
-	n, k := a.shape[0], a.shape[1]
-	m := b.shape[0]
-	if rowWorkers(n, gemmMinRows(k, m)) <= 1 {
-		gemmTransBInto(dst.data, a.data, b.data, n, k, m)
-		return
-	}
-	parallelRows(n, gemmMinRows(k, m), func(lo, hi int) {
-		gemmTransBInto(dst.data[lo*m:hi*m], a.data[lo*k:hi*k], b.data, hi-lo, k, m)
-	})
 }
 
 // MatVec returns a @ x for a [N, K] and x [K], producing [N].
@@ -180,7 +159,7 @@ func BatchMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: BatchMatMul mismatch %v @ %v", a.shape, b.shape))
 	}
 	m := b.shape[2]
-	out := Acquire(bb, n, m)
+	out := acquireDirty(bb, n, m)
 	minBatches := 1 + gemmMinRows(k, m)/max(n, 1)
 	if rowWorkers(bb, minBatches) <= 1 {
 		batchMatMulRange(out.data, a.data, b.data, n, k, m, 0, bb)
@@ -194,6 +173,6 @@ func BatchMatMul(a, b *Tensor) *Tensor {
 
 func batchMatMulRange(dst, a, b []float32, n, k, m, lo, hi int) {
 	for i := lo; i < hi; i++ {
-		gemmInto(dst[i*n*m:(i+1)*n*m], a[i*n*k:(i+1)*n*k], b[i*k*m:(i+1)*k*m], n, k, m)
+		gemmSerial(dst[i*n*m:(i+1)*n*m], a[i*n*k:(i+1)*n*k], b[i*k*m:(i+1)*k*m], n, k, m, layPlain, false, nil)
 	}
 }

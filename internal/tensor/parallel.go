@@ -127,6 +127,38 @@ func parallelRows(n int, minRowsPerWorker int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// parallelRowsAligned is parallelRows with worker block boundaries rounded
+// up to a multiple of align, so kernels that tile output rows in fixed-size
+// register blocks see at most one ragged tail (in the last block) instead
+// of one per worker. Alignment only moves the split points; each row's
+// reduction is self-contained, so results are bit-identical to any other
+// split.
+func parallelRowsAligned(n, align, minRowsPerWorker int, fn func(lo, hi int)) {
+	workers := rowWorkers(n, minRowsPerWorker)
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	block := (n + workers - 1) / workers
+	if align > 1 {
+		block = (block + align - 1) / align * align
+	}
+	ch := ensureWorkers(workers - 1)
+	var wg sync.WaitGroup
+	for lo := block; lo < n; lo += block {
+		hi := min(lo+block, n)
+		wg.Add(1)
+		select {
+		case ch <- rowTask{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
+			fn(lo, hi)
+			wg.Done()
+		}
+	}
+	fn(0, min(block, n))
+	wg.Wait()
+}
+
 // MatMulParallel is MatMul with row-block parallelism. MatMul itself now
 // dispatches through the worker pool, so this is an alias kept for
 // callers that want the intent in the name.

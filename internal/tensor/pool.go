@@ -25,6 +25,14 @@ type Pool struct {
 	disabled atomic.Bool
 
 	gets, hits, puts atomic.Uint64
+
+	// packBuckets is a separate free list for GEMM panel-packing scratch.
+	// Pack buffers churn at a different rate than activations (several
+	// per GEMM call, always fully overwritten) and their sizes rarely
+	// match tensor shapes; giving them their own size classes keeps them
+	// from evicting activation buffers out of the capped tensor buckets.
+	packBuckets        [33][][]float32
+	packGets, packHits atomic.Uint64
 }
 
 // poolBucketCap bounds the free tensors retained per size class so a
@@ -109,11 +117,56 @@ func (p *Pool) put(t *Tensor) {
 	p.mu.Unlock()
 }
 
+// getPack returns an n-element scratch slice for GEMM panel packing. The
+// contents are arbitrary (packing overwrites every element). Pack buffers
+// live in their own bucket array — see packBuckets.
+func (p *Pool) getPack(n int) []float32 {
+	p.packGets.Add(1)
+	if p.disabled.Load() || n == 0 {
+		return make([]float32, n)
+	}
+	b := ceilBucket(n)
+	p.mu.Lock()
+	for q := b; q < len(p.packBuckets); q++ {
+		if l := p.packBuckets[q]; len(l) > 0 {
+			buf := l[len(l)-1]
+			l[len(l)-1] = nil
+			p.packBuckets[q] = l[:len(l)-1]
+			p.mu.Unlock()
+			p.packHits.Add(1)
+			return buf[:n]
+		}
+	}
+	p.mu.Unlock()
+	// Same capacity rounding as get: land the buffer in the bucket a
+	// same-size request scans first.
+	return make([]float32, n, 1<<uint(b))
+}
+
+// putPack returns a getPack slice to the pack free list.
+func (p *Pool) putPack(buf []float32) {
+	if p.disabled.Load() || cap(buf) == 0 {
+		return
+	}
+	b := bits.Len(uint(cap(buf))) - 1
+	if b >= len(p.packBuckets) {
+		return
+	}
+	p.mu.Lock()
+	if len(p.packBuckets[b]) < poolBucketCap {
+		p.packBuckets[b] = append(p.packBuckets[b], buf)
+	}
+	p.mu.Unlock()
+}
+
 // drain discards every retained buffer.
 func (p *Pool) drain() {
 	p.mu.Lock()
 	for i := range p.buckets {
 		p.buckets[i] = nil
+	}
+	for i := range p.packBuckets {
+		p.packBuckets[i] = nil
 	}
 	p.mu.Unlock()
 }
@@ -184,6 +237,18 @@ func SetDebugPoisonReleased(on bool) bool {
 func PoolStats() (gets, hits, puts uint64) {
 	return defaultPool.gets.Load(), defaultPool.hits.Load(), defaultPool.puts.Load()
 }
+
+// PackStats reports cumulative pack-scratch requests and the number served
+// from the pack free list. Pack buffers are tracked separately from tensor
+// buffers (see Pool.packBuckets), so these counters never move PoolStats.
+func PackStats() (gets, hits uint64) {
+	return defaultPool.packGets.Load(), defaultPool.packHits.Load()
+}
+
+// getPackBuf and putPackBuf are the package-internal pack-scratch entry
+// points over the shared pool.
+func getPackBuf(n int) []float32 { return defaultPool.getPack(n) }
+func putPackBuf(buf []float32)   { defaultPool.putPack(buf) }
 
 // Aliases reports whether a and b share backing storage. Reshape produces
 // views over the same array, so pointer identity of the first element is
