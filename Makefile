@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-all bench-compare cover reproduce observations examples clean
+.PHONY: all check build vet test race serve-race bench bench-serve bench-all bench-compare cover reproduce observations examples clean
 
 all: check
 
-check: build vet test race
+check: build vet test race serve-race
 
 build:
 	$(GO) build ./...
@@ -19,19 +19,32 @@ test:
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/layers/... ./internal/graph/...
 
+# Race detector over the serving path (batcher, admission control, drain)
+# and the data pipeline's prefetch/shutdown machinery.
+serve-race:
+	$(GO) test -race ./internal/serve/... ./internal/data/...
+
 # Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
 # machine-readable for regression tracking.
 bench:
 	$(GO) test -run '^$$' -bench 'GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep' -benchtime 3s -benchmem -json . > BENCH_numeric.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_numeric.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
+# Serving benchmarks: dynamically batched vs unbatched closed-loop
+# throughput across batch caps, machine-readable for regression tracking.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'Serve' -benchtime 2s -benchmem -json . > BENCH_serve.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_serve.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
 bench-all:
 	$(GO) test -bench=. -benchmem
 
 # Re-run the tracked micro-benchmarks and print old-vs-new deltas against
-# the committed BENCH_numeric.json baseline.
+# the committed baselines (-suite numeric is the default; -suite serve
+# diffs BENCH_serve.json).
 bench-compare:
 	$(GO) run ./cmd/benchcompare
+	$(GO) run ./cmd/benchcompare -suite serve
 
 cover:
 	$(GO) test -cover ./...
@@ -50,6 +63,7 @@ examples:
 	$(GO) run ./examples/distributed
 	$(GO) run ./examples/toolchain
 	$(GO) run ./examples/pong_a3c
+	$(GO) run ./examples/serving
 
 clean:
 	$(GO) clean ./...

@@ -1,11 +1,19 @@
-// Command benchcompare re-runs the tracked numeric micro-benchmarks and
-// prints old-vs-new deltas against a committed `go test -json` baseline
-// (BENCH_numeric.json, produced by `make bench`). Plain stdlib only.
+// Command benchcompare re-runs a tracked benchmark suite and prints
+// old-vs-new deltas against a committed `go test -json` baseline.
+// Plain stdlib only.
+//
+// Two suites are tracked:
+//
+//	-suite numeric   numeric-backend micro-benchmarks vs BENCH_numeric.json
+//	                 (the default; baseline from `make bench`)
+//	-suite serve     dynamic-batching serving benchmarks vs BENCH_serve.json
+//	                 (baseline from `make bench-serve`)
 //
 // Usage:
 //
-//	go run ./cmd/benchcompare [-old BENCH_numeric.json] [-bench regexp] [-benchtime 1s]
-//	go run ./cmd/benchcompare -new other.json   # compare two saved files
+//	go run ./cmd/benchcompare [-suite numeric|serve] [-benchtime 1s]
+//	go run ./cmd/benchcompare -old file.json -bench regexp   # explicit override
+//	go run ./cmd/benchcompare -new other.json                # compare two saved files
 package main
 
 import (
@@ -142,12 +150,32 @@ func fmtMetric(v float64, unit string) string {
 // own columns after ns/op.
 var rateUnits = []string{"GFLOP/s", "samples/s", "Melem/s", "MB/s"}
 
+// suites maps a -suite name to its default baseline file and benchmark
+// pattern. Explicit -old/-bench flags override the suite defaults.
+var suites = map[string]struct{ oldPath, pattern string }{
+	"numeric": {"BENCH_numeric.json", "GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep"},
+	"serve":   {"BENCH_serve.json", "Serve"},
+}
+
 func main() {
-	oldPath := flag.String("old", "BENCH_numeric.json", "baseline `file` (go test -json stream)")
+	suite := flag.String("suite", "numeric", "tracked `suite` to compare (numeric or serve)")
+	oldPath := flag.String("old", "", "baseline `file` (go test -json stream; default from -suite)")
 	newPath := flag.String("new", "", "compare this saved `file` instead of re-running benchmarks")
-	pattern := flag.String("bench", "GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep", "benchmark `regexp` to run")
+	pattern := flag.String("bench", "", "benchmark `regexp` to run (default from -suite)")
 	benchtime := flag.String("benchtime", "1s", "benchtime for the fresh run")
 	flag.Parse()
+
+	defaults, ok := suites[*suite]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchcompare: unknown suite %q (have numeric, serve)\n", *suite)
+		os.Exit(1)
+	}
+	if *oldPath == "" {
+		*oldPath = defaults.oldPath
+	}
+	if *pattern == "" {
+		*pattern = defaults.pattern
+	}
 
 	old, err := parseBenchFile(*oldPath)
 	if err != nil {

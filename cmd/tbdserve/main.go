@@ -1,0 +1,199 @@
+// Command tbdserve runs the dynamic-batching inference daemon over a
+// numeric model twin, and ships the closed-loop load generator used to
+// trace its throughput-vs-latency curve.
+//
+// Usage:
+//
+//	tbdserve [serve] [-model mlp] [-addr :8093] [-batch 64] [-wait 1ms]
+//	         [-queue 256] [-parallel N] [-seed 42] [-trace batches.json]
+//	tbdserve loadgen [-url http://localhost:8093] [-concurrency 32]
+//	         [-duration 10s]
+//
+// The daemon exposes POST /predict, GET /stats, and GET /healthz, sheds
+// load with 429 when the admission queue is full, and drains in-flight
+// requests on SIGINT/SIGTERM before exiting. With -trace it writes the
+// captured per-batch timeline as Chrome trace-event JSON on shutdown.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tbd/internal/models"
+	"tbd/internal/serve"
+	"tbd/internal/tensor"
+)
+
+func main() {
+	args := os.Args[1:]
+	cmd := "serve"
+	if len(args) > 0 && (args[0] == "serve" || args[0] == "loadgen") {
+		cmd, args = args[0], args[1:]
+	}
+	var err error
+	switch cmd {
+	case "serve":
+		err = cmdServe(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "mlp", fmt.Sprintf("serve twin to load %v", models.ServeTwinNames()))
+	addr := fs.String("addr", ":8093", "listen address")
+	batch := fs.Int("batch", 64, "max dynamic batch size")
+	wait := fs.Duration("wait", time.Millisecond, "max wait for a batch to fill")
+	queue := fs.Int("queue", 256, "admission queue depth (0 = 4*batch)")
+	parallel := fs.Int("parallel", 0, "tensor worker parallelism before the per-service clamp (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 42, "weight init seed")
+	traceOut := fs.String("trace", "", "write per-batch Chrome trace JSON to this `file` on shutdown")
+	fs.Parse(args)
+
+	if *parallel > 0 {
+		tensor.SetParallelism(*parallel)
+	} else {
+		tensor.SetParallelism(runtime.GOMAXPROCS(0))
+	}
+
+	net, shape, err := models.ServeTwin(*model, tensor.NewRNG(*seed))
+	if err != nil {
+		return err
+	}
+	traceCap := 0
+	if *traceOut != "" {
+		traceCap = 1 << 16
+	}
+	svc := serve.New(serve.NewSession(net, shape...), serve.Config{
+		MaxBatch:    *batch,
+		MaxWait:     *wait,
+		QueueDepth:  *queue,
+		TraceEvents: traceCap,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("tbdserve: serving %s (sample shape %v) on %s, batch<=%d wait=%v queue=%d\n",
+			*model, shape, *addr, svc.Config().MaxBatch, svc.Config().MaxWait, svc.Config().QueueDepth)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case s := <-sig:
+		fmt.Printf("tbdserve: %v, draining...\n", s)
+	}
+
+	// Stop taking connections, then drain admitted requests.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	svc.Close()
+
+	snap := svc.Stats()
+	out, _ := json.MarshalIndent(snap, "", "  ")
+	fmt.Printf("tbdserve: final stats\n%s\n", out)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tl := svc.Timeline()
+		if err := tl.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("tbdserve: wrote batch trace to %s (%d events, %d dropped)\n",
+			*traceOut, len(tl.Events), svc.TraceEventsDropped())
+	}
+	return <-errCh
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8093", "daemon base URL")
+	concurrency := fs.Int("concurrency", 32, "closed-loop workers")
+	duration := fs.Duration("duration", 10*time.Second, "run length")
+	fs.Parse(args)
+
+	// Learn the sample shape from the daemon.
+	resp, err := http.Get(*url + "/healthz")
+	if err != nil {
+		return err
+	}
+	var health struct {
+		SampleShape []int `json:"sample_shape"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		resp.Body.Close()
+		return err
+	}
+	resp.Body.Close()
+	n := 1
+	for _, d := range health.SampleShape {
+		n *= d
+	}
+	if n == 0 {
+		return fmt.Errorf("daemon reported empty sample shape %v", health.SampleShape)
+	}
+
+	// One request body per worker: values in [0, 1) are valid for every
+	// twin (they floor to token id 0 for embedding models).
+	rng := tensor.NewRNG(7)
+	bodies := make([][]byte, *concurrency)
+	for w := range bodies {
+		input := make([]float32, n)
+		for i := range input {
+			input[i] = rng.Float32()
+		}
+		bodies[w], _ = json.Marshal(serve.PredictRequest{Input: input})
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	predictURL := *url + "/predict"
+	res := serve.LoadGen{Concurrency: *concurrency, Duration: *duration}.Run(func(w int) error {
+		r, err := client.Post(predictURL, "application/json", bytes.NewReader(bodies[w]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", r.StatusCode)
+		}
+		return nil
+	})
+
+	fmt.Printf("concurrency %d for %v: %d ok, %d errors, %.0f req/s, latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		res.Concurrency, res.Elapsed.Round(time.Millisecond), res.Requests, res.Errors,
+		res.ThroughputRPS, res.P50Ms(), res.P95Ms(), res.P99Ms())
+	return nil
+}

@@ -50,10 +50,13 @@ func NewImagePipeline(workers, prefetch, n int, makeSource func(worker int) *Ima
 	return p
 }
 
-// Next blocks until a prefetched batch is available.
+// Next blocks until a prefetched batch is available. After Close it
+// returns the zero ImageBatch immediately.
 func (p *Pipeline) Next() ImageBatch { return <-p.batches }
 
-// Close stops the workers and drains the queue.
+// Close stops the workers and drains the queue. It blocks until every
+// worker has exited, is idempotent, and is safe to call from multiple
+// goroutines concurrently (later calls wait for the first to finish).
 func (p *Pipeline) Close() {
 	p.once.Do(func() {
 		close(p.quit)

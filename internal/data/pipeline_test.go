@@ -1,6 +1,8 @@
 package data
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -128,5 +130,96 @@ func TestBucketingReducesPaddingWaste(t *testing.T) {
 	}
 	if fine > 0.25 {
 		t.Fatalf("fine-bucket waste %.3f too high", fine)
+	}
+}
+
+func TestPipelineCloseWithFullPrefetchQueue(t *testing.T) {
+	// The shutdown race the quit channel exists for: every worker blocked
+	// on a send into a full prefetch queue, with no consumer to make room.
+	// Close must still unblock and join all of them.
+	p := NewImagePipeline(4, 2, 4, func(w int) *ImageSource {
+		return NewImageSource(tensor.NewRNG(uint64(w)+21), 1, 4, 4, 2, 0.2)
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for len(p.batches) < cap(p.batches) {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetch queue never filled: %d/%d", len(p.batches), cap(p.batches))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked with a full prefetch queue")
+	}
+}
+
+func TestPipelineNoGoroutineLeakAfterClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := NewImagePipeline(6, 3, 4, func(w int) *ImageSource {
+		return NewImageSource(tensor.NewRNG(uint64(w)+31), 1, 4, 4, 2, 0.2)
+	})
+	for i := 0; i < 5; i++ {
+		p.Next()
+	}
+	p.Close()
+	// Close joins the workers, but exiting goroutines may need a beat to
+	// be reaped from the scheduler's count.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after Close = %d, want <= %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPipelineConcurrentClose(t *testing.T) {
+	p := NewImagePipeline(3, 2, 4, func(w int) *ImageSource {
+		return NewImageSource(tensor.NewRNG(uint64(w)+41), 1, 4, 4, 2, 0.2)
+	})
+	p.Next()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("concurrent Close calls did not all return")
+	}
+}
+
+func TestPipelineNextAfterClose(t *testing.T) {
+	p := NewImagePipeline(2, 2, 4, func(w int) *ImageSource {
+		return NewImageSource(tensor.NewRNG(uint64(w)+51), 1, 4, 4, 2, 0.2)
+	})
+	p.Close()
+	done := make(chan ImageBatch, 1)
+	go func() { done <- p.Next() }()
+	select {
+	case b := <-done:
+		if b.X != nil || b.Labels != nil {
+			t.Fatalf("Next after Close = %+v, want zero batch", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next blocked after Close")
 	}
 }

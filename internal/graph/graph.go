@@ -39,6 +39,21 @@ func (n *Network) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	return n.Root.Backward(gy)
 }
 
+// Infer runs a forward pass in evaluation mode: no feature maps are
+// stashed for backward (StashBytes stays zero), batch-norm layers use
+// their running statistics, and no optimizer state is touched — the
+// frozen execution path the serving layer builds on. The returned tensor
+// is owned by the network's layers and is valid only until the next
+// forward call; callers that keep results must copy them out first.
+//
+// Like Forward, Infer is not safe for concurrent use: layers recycle
+// their output buffers across calls, so each goroutine needs its own
+// Network (see internal/serve for the batching front end that serializes
+// concurrent requests onto one network).
+func (n *Network) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return n.Forward(x, false)
+}
+
 // Params returns all trainable parameters. The list is computed on the
 // first call and cached; layers must not be added to the network after
 // training begins.

@@ -1,0 +1,76 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"tbd/internal/graph"
+	"tbd/internal/layers"
+	"tbd/internal/tensor"
+)
+
+// Serving twins: numeric networks packaged for the inference service
+// (internal/serve and cmd/tbdserve). Each entry pairs a network
+// constructor with the per-sample input shape the batcher needs to
+// assemble request tensors.
+
+// NumericServeMLP builds a pure-dense classifier (in -> hidden -> hidden
+// -> classes with fused-ReLU GEMM epilogues). Dense stacks are the
+// serving workload where dynamic batching pays off most: a single-sample
+// forward degenerates to memory-bound GEMV-shaped GEMMs (M=1), while a
+// coalesced batch restores the compute-bound M=B shape — the serving-side
+// mirror of the paper's batch-size Observations.
+func NumericServeMLP(rng *tensor.RNG, in, hidden, classes int) *graph.Network {
+	root := layers.NewSequential("serve-mlp",
+		layers.NewDenseAct("fc1", in, hidden, tensor.ActReLU, rng),
+		layers.NewDenseAct("fc2", hidden, hidden, tensor.ActReLU, rng),
+		layers.NewDense("fc3", hidden, classes, rng),
+	)
+	return graph.New("Serve-MLP", root)
+}
+
+// serveTwinSpec describes one servable twin: how to build it and the
+// shape of one input sample.
+type serveTwinSpec struct {
+	build       func(rng *tensor.RNG) *graph.Network
+	sampleShape []int
+}
+
+var serveTwins = map[string]serveTwinSpec{
+	"mlp": {
+		// 256-512-512-10: the packed B panels fit in L2, so a coalesced
+		// batch runs compute-bound while a single-sample forward stays
+		// memory-bound on the weight stream — the widest stable gap for
+		// the batching benchmarks on one core.
+		build:       func(rng *tensor.RNG) *graph.Network { return NumericServeMLP(rng, 256, 512, 10) },
+		sampleShape: []int{256},
+	},
+	"resnet": {
+		build:       func(rng *tensor.RNG) *graph.Network { return NumericResNet(rng, 3, 16, 10) },
+		sampleShape: []int{3, 16, 16},
+	},
+	"transformer": {
+		build:       func(rng *tensor.RNG) *graph.Network { return NumericTransformer(rng, 50, 32, 4) },
+		sampleShape: []int{16}, // token ids, one 16-token sequence per request
+	},
+}
+
+// ServeTwin builds the named serving twin and returns it with its
+// per-sample input shape. Known names: see ServeTwinNames.
+func ServeTwin(name string, rng *tensor.RNG) (*graph.Network, []int, error) {
+	spec, ok := serveTwins[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("models: unknown serve twin %q (have %v)", name, ServeTwinNames())
+	}
+	return spec.build(rng), append([]int(nil), spec.sampleShape...), nil
+}
+
+// ServeTwinNames lists the servable twins, sorted.
+func ServeTwinNames() []string {
+	names := make([]string, 0, len(serveTwins))
+	for n := range serveTwins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"tbd/internal/metrics"
+)
+
+// LoadGen is a closed-loop load generator: Concurrency workers each issue
+// one request, wait for its completion, and immediately issue the next —
+// the standard way to trace out a throughput-vs-latency curve, because
+// offered load rises with concurrency instead of with an open-loop
+// arrival rate that can run away past saturation.
+type LoadGen struct {
+	// Concurrency is the number of closed-loop workers (in-flight
+	// requests).
+	Concurrency int
+	// Duration bounds the run in wall-clock time.
+	Duration time.Duration
+}
+
+// LoadResult summarizes one closed-loop run.
+type LoadResult struct {
+	Concurrency int
+	Requests    uint64
+	Errors      uint64
+	Elapsed     time.Duration
+	// ThroughputRPS counts successful requests per second.
+	ThroughputRPS float64
+	// Latency is the merged per-request latency histogram (seconds);
+	// only successful requests are observed.
+	Latency *metrics.Histogram
+}
+
+// P50Ms, P95Ms, P99Ms report latency quantiles in milliseconds.
+func (r LoadResult) P50Ms() float64 { return 1e3 * r.Latency.Quantile(0.50) }
+func (r LoadResult) P95Ms() float64 { return 1e3 * r.Latency.Quantile(0.95) }
+func (r LoadResult) P99Ms() float64 { return 1e3 * r.Latency.Quantile(0.99) }
+
+// Run drives call (one request; worker is the 0-based worker id) in a
+// closed loop until Duration elapses. call's error marks the request
+// failed (shed, refused, transport error); failures count toward Errors
+// and not toward throughput or latency.
+func (g LoadGen) Run(call func(worker int) error) LoadResult {
+	if g.Concurrency <= 0 {
+		g.Concurrency = 1
+	}
+	if g.Duration <= 0 {
+		g.Duration = time.Second
+	}
+	type workerStats struct {
+		requests, errors uint64
+		latency          *metrics.Histogram
+	}
+	stats := make([]workerStats, g.Concurrency)
+	deadline := time.Now().Add(g.Duration)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < g.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &stats[w]
+			ws.latency = metrics.NewLatencyHistogram()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				if err := call(w); err != nil {
+					ws.errors++
+					continue
+				}
+				ws.latency.Observe(time.Since(start).Seconds())
+				ws.requests++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	out := LoadResult{
+		Concurrency: g.Concurrency,
+		Elapsed:     elapsed,
+		Latency:     metrics.NewLatencyHistogram(),
+	}
+	for i := range stats {
+		out.Requests += stats[i].requests
+		out.Errors += stats[i].errors
+		out.Latency.Merge(stats[i].latency)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		out.ThroughputRPS = float64(out.Requests) / sec
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+// Package serve turns trained model twins into a load-bearing inference
+// service. It provides the missing half of the benchmark story: the
+// paper's batch-size Observations (throughput rises steeply with
+// mini-batch size until the device saturates) apply just as much to
+// request serving as to training, but concurrent clients naturally issue
+// single-sample requests. The dynamic micro-batcher here coalesces those
+// requests into GEMM-friendly batches under a max-batch / max-wait
+// policy, with bounded-queue admission control in front and latency
+// histograms behind, so the throughput-vs-latency trade can be measured
+// rather than guessed.
+//
+// Architecture (one Service):
+//
+//	clients ──Predict──▶ bounded queue ──▶ runner goroutine ──▶ Session.InferBatch
+//	   ▲                  (admission         (dynamic               (frozen network,
+//	   └──── per-request   control:           micro-batcher:         fused kernels,
+//	         results       shed load          coalesce ≤ MaxBatch    pooled buffers)
+//	         in order)     when full)         or flush at MaxWait)
+//
+// Layers recycle their output buffers across forward calls, so a network
+// is single-goroutine property; the Service owns one Session and one
+// runner goroutine, and concurrency comes from batching, not from racing
+// forwards. Multiple Services may run side by side (one network each);
+// the package clamps the shared GEMM worker pool so the combined
+// parallelism never oversubscribes GOMAXPROCS.
+package serve
+
+import (
+	"fmt"
+
+	"tbd/internal/tensor"
+)
+
+// Model is the forward-only surface the session needs; *graph.Network
+// implements it. train is always false on the serving path.
+type Model interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+}
+
+// Session is a frozen, forward-only inference session over a network.
+// It carries no optimizer state and never stashes feature maps (all
+// forwards run with train=false). A Session is not safe for concurrent
+// use — the owning Service serializes batches onto it.
+type Session struct {
+	model       Model
+	sampleShape []int
+	sampleLen   int
+}
+
+// NewSession freezes a model for inference. sampleShape is the shape of
+// one request sample (without the batch dimension), e.g. [3, 16, 16] for
+// an NCHW image model or [T] for a token-sequence model.
+func NewSession(m Model, sampleShape ...int) *Session {
+	if m == nil {
+		panic("serve: nil model")
+	}
+	if len(sampleShape) == 0 {
+		panic("serve: session needs a per-sample input shape")
+	}
+	n := 1
+	for _, d := range sampleShape {
+		if d <= 0 {
+			panic(fmt.Sprintf("serve: non-positive dimension in sample shape %v", sampleShape))
+		}
+		n *= d
+	}
+	return &Session{
+		model:       m,
+		sampleShape: append([]int(nil), sampleShape...),
+		sampleLen:   n,
+	}
+}
+
+// SampleShape returns the per-sample input shape (not a copy; do not
+// mutate).
+func (s *Session) SampleShape() []int { return s.sampleShape }
+
+// SampleLen returns the number of elements in one sample.
+func (s *Session) SampleLen() int { return s.sampleLen }
+
+// InferBatch runs an eval-mode forward over a [n, sampleShape...] batch.
+// The returned tensor is owned by the model's layers and valid only until
+// the next InferBatch call; copy rows out before reusing the session.
+func (s *Session) InferBatch(x *tensor.Tensor) *tensor.Tensor {
+	return s.model.Forward(x, false)
+}

@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbd/internal/kernels"
+	"tbd/internal/metrics"
+	"tbd/internal/sim"
+	"tbd/internal/tensor"
+	"tbd/internal/trace"
+)
+
+// Config tunes one Service.
+type Config struct {
+	// MaxBatch caps how many requests one forward pass coalesces. 1
+	// disables batching (every request is its own forward).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is flushed anyway. 0 means flush
+	// immediately with whatever is already queued (no deadline timer).
+	MaxWait time.Duration
+	// QueueDepth bounds the admission queue. Predict calls that arrive
+	// with the queue full are shed with ErrOverloaded instead of piling
+	// up unbounded latency. Defaults to 4*MaxBatch.
+	QueueDepth int
+	// TraceEvents, when positive, retains up to that many per-batch
+	// trace events for Timeline export. 0 disables trace capture.
+	TraceEvents int
+}
+
+// withDefaults validates and fills the config.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1
+	}
+	if c.MaxWait < 0 {
+		c.MaxWait = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Sentinel errors of the admission path.
+var (
+	// ErrOverloaded is returned when the admission queue is full; the
+	// request was shed without queueing (backpressure to the caller).
+	ErrOverloaded = errors.New("serve: overloaded, request shed")
+	// ErrShuttingDown is returned for requests arriving after Close
+	// began; already-admitted requests still complete (graceful drain).
+	ErrShuttingDown = errors.New("serve: shutting down")
+)
+
+// Result is one completed request.
+type Result struct {
+	// Output is the request's slice of the network output, copied out of
+	// the layer-owned batch result (safe to retain).
+	Output []float32
+	// Latency is the full request residence time: queue wait + batch
+	// formation wait + forward compute.
+	Latency time.Duration
+	// BatchSize is the occupancy of the batch this request rode in.
+	BatchSize int
+}
+
+// request is one queued unit of work.
+type request struct {
+	x    *tensor.Tensor
+	enq  time.Time
+	resp chan response
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+// Service is a dynamic-batching inference front end over one Session.
+// Predict may be called from any number of goroutines; the Service owns
+// a single runner goroutine that forms batches and runs the network.
+type Service struct {
+	cfg   Config
+	sess  *Session
+	queue chan *request
+	stats *Stats
+
+	closing   atomic.Bool
+	producers sync.WaitGroup
+	runnerWG  sync.WaitGroup
+	closeOnce sync.Once
+
+	start time.Time
+
+	traceMu      sync.Mutex
+	traceEvents  []sim.Event
+	traceDropped uint64
+}
+
+// New starts a service over the session. The caller must Close it to
+// release the runner goroutine and the service's share of the CPU
+// budget.
+func New(sess *Session, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		sess:  sess,
+		queue: make(chan *request, cfg.QueueDepth),
+		stats: newStats(cfg.MaxBatch),
+		start: time.Now(),
+	}
+	acquireCPUBudget()
+	s.runnerWG.Add(1)
+	go s.run()
+	return s
+}
+
+// Config returns the service's effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Predict submits one sample and blocks until its result is ready or the
+// request is refused. x must have exactly the session's sample element
+// count (its shape may be [sampleShape...] or [1, sampleShape...]); the
+// tensor is only read and only until Predict returns.
+func (s *Service) Predict(x *tensor.Tensor) (Result, error) {
+	if x == nil || x.Numel() != s.sess.sampleLen {
+		got := 0
+		if x != nil {
+			got = x.Numel()
+		}
+		return Result{}, fmt.Errorf("serve: sample has %d elements, want %d (shape %v)",
+			got, s.sess.sampleLen, s.sess.sampleShape)
+	}
+	// The producers group pairs with Close: Add before the closing
+	// re-check means Close's Wait cannot pass while a Predict that saw
+	// closing==false is still about to enqueue.
+	s.producers.Add(1)
+	if s.closing.Load() {
+		s.producers.Done()
+		s.stats.rejectShutdown()
+		return Result{}, ErrShuttingDown
+	}
+	req := &request{x: x, enq: time.Now(), resp: make(chan response, 1)}
+	select {
+	case s.queue <- req:
+		s.producers.Done()
+	default:
+		s.producers.Done()
+		s.stats.rejectOverload()
+		return Result{}, ErrOverloaded
+	}
+	s.stats.accept()
+	r := <-req.resp
+	return r.res, r.err
+}
+
+// Close stops admission, drains every already-admitted request through
+// the batcher, and waits for the runner to exit. It is idempotent and
+// safe to call concurrently with Predict: requests that lost the race
+// get ErrShuttingDown, requests that won are completed.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		s.producers.Wait() // no Predict is still about to enqueue
+		close(s.queue)
+		s.runnerWG.Wait()
+		releaseCPUBudget()
+	})
+}
+
+// Stats returns a snapshot of the service's counters and latency
+// distributions.
+func (s *Service) Stats() StatsSnapshot { return s.stats.snapshot(s.start) }
+
+// LatencyHistogram returns a copy of the full request-latency histogram
+// (bucket-level detail beyond the snapshot quantiles).
+func (s *Service) LatencyHistogram() *metrics.Histogram {
+	return s.stats.LatencyHistogram()
+}
+
+// Timeline exports the captured per-batch trace events as a timeline
+// (empty when Config.TraceEvents is 0). Event timestamps are seconds
+// since the service started.
+func (s *Service) Timeline() *trace.Timeline {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return trace.New(append([]sim.Event(nil), s.traceEvents...))
+}
+
+// TraceEventsDropped reports how many batch events were discarded after
+// the trace buffer filled.
+func (s *Service) TraceEventsDropped() uint64 {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return s.traceDropped
+}
+
+// run is the batcher loop: take one request, optionally wait up to
+// MaxWait for the batch to fill, flush, repeat. Exits when the queue is
+// closed and drained.
+func (s *Service) run() {
+	defer s.runnerWG.Done()
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	var timer *time.Timer
+	if s.cfg.MaxWait > 0 && s.cfg.MaxBatch > 1 {
+		timer = time.NewTimer(s.cfg.MaxWait)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
+	}
+	for first := range s.queue {
+		batch = append(batch[:0], first)
+		if timer != nil {
+			// Deadline runs from the arrival of the batch's first
+			// request: it bounds that request's batching delay.
+			timer.Reset(s.cfg.MaxWait)
+			fired := false
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break collect // flush, then range exits
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					fired = true
+					break collect
+				}
+			}
+			if !fired && !timer.Stop() {
+				<-timer.C
+			}
+		} else {
+			// No deadline: batch whatever has already queued up.
+		greedy:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break greedy
+					}
+					batch = append(batch, r)
+				default:
+					break greedy
+				}
+			}
+		}
+		s.flush(batch)
+	}
+}
+
+// flush assembles the batch tensor, runs the forward pass, and fans the
+// rows back out to the waiting requests in submission order. A panicking
+// forward (e.g. an out-of-vocabulary token id reaching an embedding
+// layer) fails the batch's requests instead of killing the service.
+func (s *Service) flush(batch []*request) {
+	n := len(batch)
+	shape := append(make([]int, 0, len(s.sess.sampleShape)+1), n)
+	shape = append(shape, s.sess.sampleShape...)
+	// Every row is copied in below, so the buffer may come back dirty.
+	x := tensor.AcquireDirty(shape...)
+	L := s.sess.sampleLen
+	for i, r := range batch {
+		copy(x.Data()[i*L:(i+1)*L], r.x.Data())
+	}
+
+	t0 := time.Now()
+	out, err := s.inferBatch(x)
+	dur := time.Since(t0)
+
+	if err != nil {
+		x.Release()
+		for _, r := range batch {
+			r.resp <- response{err: err}
+		}
+		s.stats.failBatch(n)
+		return
+	}
+
+	rowLen := out.Numel() / n
+	done := time.Now()
+	latencies := make([]float64, n)
+	for i, r := range batch {
+		res := Result{
+			Output:    append([]float32(nil), out.Data()[i*rowLen:(i+1)*rowLen]...),
+			Latency:   done.Sub(r.enq),
+			BatchSize: n,
+		}
+		latencies[i] = res.Latency.Seconds()
+		r.resp <- response{res: res}
+	}
+	// Released only after the fan-out: a model may legally return its
+	// input (identity-style layers), and the rows must be copied out
+	// before the buffer can be recycled.
+	x.Release()
+	s.stats.recordBatch(n, dur.Seconds(), latencies)
+	s.recordTrace(n, t0, dur)
+}
+
+// inferBatch runs the forward pass, converting panics into errors.
+func (s *Service) inferBatch(x *tensor.Tensor) (out *tensor.Tensor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, err = nil, fmt.Errorf("serve: forward pass failed: %v", p)
+		}
+	}()
+	return s.sess.InferBatch(x), nil
+}
+
+// recordTrace appends one per-batch event, dropping once the configured
+// buffer is full (a serving process is long-lived; the trace is a
+// window, not a log).
+func (s *Service) recordTrace(n int, t0 time.Time, dur time.Duration) {
+	if s.cfg.TraceEvents <= 0 {
+		return
+	}
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if len(s.traceEvents) >= s.cfg.TraceEvents {
+		s.traceDropped++
+		return
+	}
+	s.traceEvents = append(s.traceEvents, sim.Event{
+		Name:     fmt.Sprintf("serve.batch[n=%d]", n),
+		Class:    kernels.GEMM,
+		StartSec: t0.Sub(s.start).Seconds(),
+		DurSec:   dur.Seconds(),
+	})
+}

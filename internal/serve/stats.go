@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"tbd/internal/metrics"
+)
+
+// Stats aggregates the service's observability state: request counters
+// plus fixed-bucket histograms (metrics.Histogram) of request latency and
+// batch occupancy. All methods are safe for concurrent use; the
+// histograms themselves are unsynchronized and guarded by the mutex here.
+type Stats struct {
+	mu sync.Mutex
+
+	accepted         uint64
+	rejectedOverload uint64
+	rejectedShutdown uint64
+	completed        uint64
+	failed           uint64
+	batches          uint64
+
+	latency   *metrics.Histogram // request residence time, seconds
+	batchTime *metrics.Histogram // per-batch forward time, seconds
+	occupancy *metrics.Histogram // requests per flushed batch
+}
+
+func newStats(maxBatch int) *Stats {
+	buckets := maxBatch
+	if buckets > 64 {
+		buckets = 64
+	}
+	return &Stats{
+		latency:   metrics.NewLatencyHistogram(),
+		batchTime: metrics.NewLatencyHistogram(),
+		occupancy: metrics.NewLinearHistogram(0, float64(maxBatch), buckets),
+	}
+}
+
+func (st *Stats) accept() {
+	st.mu.Lock()
+	st.accepted++
+	st.mu.Unlock()
+}
+
+func (st *Stats) rejectOverload() {
+	st.mu.Lock()
+	st.rejectedOverload++
+	st.mu.Unlock()
+}
+
+func (st *Stats) rejectShutdown() {
+	st.mu.Lock()
+	st.rejectedShutdown++
+	st.mu.Unlock()
+}
+
+func (st *Stats) recordBatch(n int, forwardSec float64, latenciesSec []float64) {
+	st.mu.Lock()
+	st.completed += uint64(n)
+	st.batches++
+	st.occupancy.Observe(float64(n))
+	st.batchTime.Observe(forwardSec)
+	for _, l := range latenciesSec {
+		st.latency.Observe(l)
+	}
+	st.mu.Unlock()
+}
+
+func (st *Stats) failBatch(n int) {
+	st.mu.Lock()
+	st.failed += uint64(n)
+	st.batches++
+	st.mu.Unlock()
+}
+
+// StatsSnapshot is a point-in-time copy of the service counters and
+// distribution summaries, JSON-ready for the /stats endpoint.
+type StatsSnapshot struct {
+	Accepted         uint64 `json:"accepted"`
+	RejectedOverload uint64 `json:"rejected_overload"`
+	RejectedShutdown uint64 `json:"rejected_shutdown"`
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	Batches          uint64 `json:"batches"`
+
+	// Latency quantiles in milliseconds (request residence time).
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+
+	// BatchP50Ms is the median per-batch forward time in milliseconds.
+	BatchP50Ms float64 `json:"batch_p50_ms"`
+
+	// MeanOccupancy is the average number of requests per flushed batch.
+	MeanOccupancy float64 `json:"mean_occupancy"`
+
+	// UptimeSec is seconds since the service started; ThroughputRPS is
+	// completed requests over uptime.
+	UptimeSec     float64 `json:"uptime_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+func (st *Stats) snapshot(start time.Time) StatsSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	up := time.Since(start).Seconds()
+	snap := StatsSnapshot{
+		Accepted:         st.accepted,
+		RejectedOverload: st.rejectedOverload,
+		RejectedShutdown: st.rejectedShutdown,
+		Completed:        st.completed,
+		Failed:           st.failed,
+		Batches:          st.batches,
+		LatencyP50Ms:     1e3 * st.latency.Quantile(0.50),
+		LatencyP95Ms:     1e3 * st.latency.Quantile(0.95),
+		LatencyP99Ms:     1e3 * st.latency.Quantile(0.99),
+		LatencyMeanMs:    1e3 * st.latency.Mean(),
+		LatencyMaxMs:     1e3 * st.latency.Max(),
+		BatchP50Ms:       1e3 * st.batchTime.Quantile(0.50),
+		MeanOccupancy:    st.occupancy.Mean(),
+		UptimeSec:        up,
+	}
+	if up > 0 {
+		snap.ThroughputRPS = float64(st.completed) / up
+	}
+	return snap
+}
+
+// LatencyHistogram returns a copy of the request-latency histogram for
+// callers that want full bucket detail (merging across services, trace
+// annotation).
+func (st *Stats) LatencyHistogram() *metrics.Histogram {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	h := metrics.NewLatencyHistogram()
+	h.Merge(st.latency)
+	return h
+}
