@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet test race serve-race bench bench-serve bench-all bench-compare cover reproduce observations examples clean
+.PHONY: all check build vet test race serve-race prof-race bench bench-serve bench-prof bench-all bench-compare cover reproduce observations examples clean
 
 all: check
 
-check: build vet test race serve-race
+check: build vet test race serve-race prof-race
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ race:
 serve-race:
 	$(GO) test -race ./internal/serve/... ./internal/data/...
 
+# Race detector over the live profiler (atomic gate, collector, pool
+# counter source) and the trace writer it feeds.
+prof-race:
+	$(GO) test -race ./internal/prof/... ./internal/trace/... ./internal/memprof/...
+
 # Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
 # machine-readable for regression tracking.
 bench:
@@ -36,15 +41,22 @@ bench-serve:
 	$(GO) test -run '^$$' -bench 'Serve' -benchtime 2s -benchmem -json . > BENCH_serve.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_serve.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
+# Profiler overhead benchmarks: span fast path (disabled must be 0
+# allocs/op) and full twin step with the profiler off vs on.
+bench-prof:
+	$(GO) test -run '^$$' -bench 'Prof' -benchtime 2s -benchmem -json . > BENCH_prof.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_prof.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
 bench-all:
 	$(GO) test -bench=. -benchmem
 
 # Re-run the tracked micro-benchmarks and print old-vs-new deltas against
 # the committed baselines (-suite numeric is the default; -suite serve
-# diffs BENCH_serve.json).
+# diffs BENCH_serve.json, -suite prof diffs BENCH_prof.json).
 bench-compare:
 	$(GO) run ./cmd/benchcompare
 	$(GO) run ./cmd/benchcompare -suite serve
+	$(GO) run ./cmd/benchcompare -suite prof
 
 cover:
 	$(GO) test -cover ./...

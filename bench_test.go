@@ -25,6 +25,7 @@ import (
 	"tbd/internal/metrics"
 	"tbd/internal/models"
 	"tbd/internal/optim"
+	"tbd/internal/prof"
 	"tbd/internal/serve"
 	"tbd/internal/sim"
 	"tbd/internal/tensor"
@@ -488,6 +489,77 @@ func BenchmarkTwinStep(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				graph.TrainClassifierStep(net, opt, batch.X, batch.Labels, 5)
+			}
+			b.ReportMetric(32*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkProfSpan measures the profiler's span fast path in isolation:
+// the disabled case is the per-callsite cost every kernel pays when no one
+// is profiling (one atomic load, zero allocations — asserted by
+// TestDisabledSpanAllocsNothing), and the enabled case is the full
+// capture cost including the collector lock.
+func BenchmarkProfSpan(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		prof.Disable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := prof.Begin(prof.CatKernel, "bench.span")
+			sp.End()
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		prof.Enable()
+		prof.SetMaxRecords(1) // cap the timeline; aggregation still runs
+		defer func() {
+			prof.Disable()
+			prof.SetMaxRecords(0)
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := prof.Begin(prof.CatKernel, "bench.span")
+			sp.End()
+		}
+	})
+}
+
+// BenchmarkProfStep measures the profiler's end-to-end observer effect on
+// the real workload: one ResNet-twin training step with capture off vs on.
+// The benchcompare prof suite gates the on/off ratio (< 3% overhead
+// enabled, ~0% disabled — the tentpole acceptance criterion of ISSUE 4).
+func BenchmarkProfStep(b *testing.B) {
+	for _, profiled := range []bool{false, true} {
+		name := "off"
+		if profiled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			tensor.SetParallelism(runtime.NumCPU())
+			defer tensor.SetParallelism(1)
+			rng := tensor.NewRNG(10)
+			src := data.NewImageSource(rng, 3, 16, 16, 10, 0.3)
+			net := models.NumericResNet(rng, 3, 16, 10)
+			opt := optim.NewAdam(0.01)
+			batch := src.Batch(32)
+			if profiled {
+				prof.Enable()
+				defer prof.Disable()
+			} else {
+				prof.Disable()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if profiled && i%64 == 0 {
+					// Restart the capture periodically so the timeline
+					// window never fills and every span takes the full
+					// record-append path.
+					prof.Enable()
+				}
 				graph.TrainClassifierStep(net, opt, batch.X, batch.Labels, 5)
 			}
 			b.ReportMetric(32*float64(b.N)/b.Elapsed().Seconds(), "samples/s")

@@ -2,16 +2,18 @@
 // old-vs-new deltas against a committed `go test -json` baseline.
 // Plain stdlib only.
 //
-// Two suites are tracked:
+// Three suites are tracked:
 //
 //	-suite numeric   numeric-backend micro-benchmarks vs BENCH_numeric.json
 //	                 (the default; baseline from `make bench`)
 //	-suite serve     dynamic-batching serving benchmarks vs BENCH_serve.json
 //	                 (baseline from `make bench-serve`)
+//	-suite prof      live-profiler overhead benchmarks vs BENCH_prof.json
+//	                 (baseline from `make bench-prof`)
 //
 // Usage:
 //
-//	go run ./cmd/benchcompare [-suite numeric|serve] [-benchtime 1s]
+//	go run ./cmd/benchcompare [-suite numeric|serve|prof] [-benchtime 1s]
 //	go run ./cmd/benchcompare -old file.json -bench regexp   # explicit override
 //	go run ./cmd/benchcompare -new other.json                # compare two saved files
 package main
@@ -155,10 +157,11 @@ var rateUnits = []string{"GFLOP/s", "samples/s", "Melem/s", "MB/s"}
 var suites = map[string]struct{ oldPath, pattern string }{
 	"numeric": {"BENCH_numeric.json", "GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep"},
 	"serve":   {"BENCH_serve.json", "Serve"},
+	"prof":    {"BENCH_prof.json", "Prof"},
 }
 
 func main() {
-	suite := flag.String("suite", "numeric", "tracked `suite` to compare (numeric or serve)")
+	suite := flag.String("suite", "numeric", "tracked `suite` to compare (numeric, serve, or prof)")
 	oldPath := flag.String("old", "", "baseline `file` (go test -json stream; default from -suite)")
 	newPath := flag.String("new", "", "compare this saved `file` instead of re-running benchmarks")
 	pattern := flag.String("bench", "", "benchmark `regexp` to run (default from -suite)")
@@ -167,7 +170,7 @@ func main() {
 
 	defaults, ok := suites[*suite]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchcompare: unknown suite %q (have numeric, serve)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchcompare: unknown suite %q (have numeric, serve, prof)\n", *suite)
 		os.Exit(1)
 	}
 	if *oldPath == "" {

@@ -22,6 +22,9 @@ import (
 	"strings"
 
 	"tbd"
+	"tbd/internal/memprof"
+	"tbd/internal/prof"
+	"tbd/internal/trace"
 )
 
 func main() {
@@ -87,6 +90,7 @@ Commands:
   workspace       workspace-budget vs conv-algorithm tradeoff (-model, -framework, -batch)
   trace           export an nvprof-style kernel timeline (-model, -framework, -batch, -json)
   twin            train a benchmark's numeric twin for real (-model, -steps, -seed)
+                  flags: -profile, -prof-top N, -prof-json, -trace-out FILE
   analyze         full Figure-3 pipeline report for one config (-model, -framework, -batch)
   observations    check the paper's Observations 1-13`)
 }
@@ -324,11 +328,24 @@ func cmdTwin(args []string) error {
 	steps := fs.Int("steps", 200, "optimizer updates")
 	seed := fs.Uint64("seed", 1, "RNG seed")
 	workers := fs.Int("parallel", runtime.NumCPU(), "numeric engine worker count (results are identical for any value)")
+	profile := fs.Bool("profile", false, "capture a live per-kernel profile and memory watermark of the run")
+	profTop := fs.Int("prof-top", 12, "profile rows to print (0 = all)")
+	profJSON := fs.Bool("prof-json", false, "emit the profile as JSON instead of a table")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace (chrome://tracing) of the run to this file (implies -profile)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	tbd.SetEngineParallelism(*workers)
+	if *traceOut != "" {
+		*profile = true
+	}
+	if *profile {
+		prof.Enable()
+	}
 	run, err := tbd.TrainTwin(*model, *steps, *seed)
+	if *profile {
+		prof.Disable()
+	}
 	if err != nil {
 		return err
 	}
@@ -342,6 +359,51 @@ func cmdTwin(args []string) error {
 		fmt.Println("twin improved over training")
 	} else {
 		fmt.Println("twin did NOT improve — try more steps")
+	}
+	if *profile {
+		if err := printTwinProfile(*profTop, *profJSON, *traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printTwinProfile renders the live capture accumulated during cmdTwin:
+// the per-kernel table (or JSON snapshot), the five-category memory
+// watermark, and optionally a Chrome trace file.
+func printTwinProfile(topK int, asJSON bool, traceOut string) error {
+	snap := prof.Stats()
+	fmt.Println()
+	if asJSON {
+		if err := snap.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		if err := snap.Table(topK).Render(os.Stdout); err != nil {
+			return err
+		}
+		if snap.DroppedEvents > 0 {
+			fmt.Printf("(timeline window full: %d spans dropped from the trace; stats above include them)\n", snap.DroppedEvents)
+		}
+		bd := memprof.ProfileLive(snap.Mem)
+		mb := func(v int64) float64 { return float64(v) / (1 << 20) }
+		fmt.Printf("\nPeak memory watermark (%d samples):\n", snap.Mem.Samples)
+		fmt.Printf("  feature maps %8.2f MB\n  weights      %8.2f MB\n  gradients    %8.2f MB\n  dynamic      %8.2f MB\n  workspace    %8.2f MB\n  total        %8.2f MB (feature maps %.0f%%)\n",
+			mb(bd.FeatureMaps), mb(bd.Weights), mb(bd.WeightGradients), mb(bd.Dynamic), mb(bd.Workspace), mb(bd.Total()), 100*bd.FeatureMapShare())
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteProfChrome(f, prof.Records()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("Chrome trace (%d events) written to %s — load in chrome://tracing or Perfetto\n", len(prof.Records()), traceOut)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 //
 //	tbdserve [serve] [-model mlp] [-addr :8093] [-batch 64] [-wait 1ms]
 //	         [-queue 256] [-parallel N] [-seed 42] [-trace batches.json]
+//	         [-profile]
 //	tbdserve loadgen [-url http://localhost:8093] [-concurrency 32]
 //	         [-duration 10s]
 //
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"tbd/internal/models"
+	"tbd/internal/prof"
 	"tbd/internal/serve"
 	"tbd/internal/tensor"
 )
@@ -64,6 +66,7 @@ func cmdServe(args []string) error {
 	parallel := fs.Int("parallel", 0, "tensor worker parallelism before the per-service clamp (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 42, "weight init seed")
 	traceOut := fs.String("trace", "", "write per-batch Chrome trace JSON to this `file` on shutdown")
+	profile := fs.Bool("profile", false, "enable the live profiler; snapshot at GET /debug/prof, summary on shutdown")
 	fs.Parse(args)
 
 	if *parallel > 0 {
@@ -75,6 +78,9 @@ func cmdServe(args []string) error {
 	net, shape, err := models.ServeTwin(*model, tensor.NewRNG(*seed))
 	if err != nil {
 		return err
+	}
+	if *profile {
+		prof.Enable()
 	}
 	traceCap := 0
 	if *traceOut != "" {
@@ -120,6 +126,14 @@ func cmdServe(args []string) error {
 	snap := svc.Stats()
 	out, _ := json.MarshalIndent(snap, "", "  ")
 	fmt.Printf("tbdserve: final stats\n%s\n", out)
+
+	if *profile {
+		prof.Disable()
+		fmt.Println()
+		if err := prof.Stats().Table(10).Render(os.Stdout); err != nil {
+			return err
+		}
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

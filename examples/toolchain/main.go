@@ -3,7 +3,8 @@
 // cross-framework comparability checking (§3.4.1), the end-to-end merged
 // analysis (sampling methodology + utilizations + phases + kernels +
 // memory), the vDNN-style offload what-if, the numeric twin, and an
-// exported kernel timeline.
+// exported kernel timeline — plus the live runtime profiler pointed at a
+// real training run of the numeric twin.
 package main
 
 import (
@@ -11,6 +12,9 @@ import (
 	"os"
 
 	"tbd"
+	"tbd/internal/memprof"
+	"tbd/internal/prof"
+	"tbd/internal/trace"
 )
 
 func main() {
@@ -94,6 +98,32 @@ func run() error {
 		return err
 	}
 	fmt.Printf("  wrote %s (%d bytes) — load with any CSV tool or convert to chrome://tracing JSON\n", f.Name(), fi.Size())
+
+	fmt.Println("\n== Step 6: profile the live engine (nvprof for the twin) ==")
+	prof.Enable()
+	if _, err := tbd.TrainTwin(model, 20, 1); err != nil {
+		return err
+	}
+	prof.Disable()
+	snap := prof.Stats()
+	if err := snap.Table(5).Render(os.Stdout); err != nil {
+		return err
+	}
+	bd := memprof.ProfileLive(snap.Mem)
+	fmt.Printf("  watermark over %d steps: %.2f MB total, feature maps %.0f%% (the paper's Observation 11, live)\n",
+		snap.Mem.Samples, float64(bd.Total())/(1<<20), 100*bd.FeatureMapShare())
+	tf, err := os.CreateTemp("", "tbd-prof-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tf.Name())
+	if err := trace.WriteProfChrome(tf, prof.Records()); err != nil {
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  Chrome trace of the real run: %s (%d events)\n", tf.Name(), len(prof.Records()))
 
 	fmt.Println("\ntoolchain: OK")
 	return nil

@@ -8,8 +8,21 @@ import (
 
 	"tbd/internal/layers"
 	"tbd/internal/optim"
+	"tbd/internal/prof"
 	"tbd/internal/tensor"
 )
+
+// sampleStepMemory feeds the profiler's memory watermark with the paper's
+// five-category breakdown at the point of peak liveness in a training step:
+// right after backward, when weights, weight gradients, stashed feature
+// maps, pool workspace, and optimizer state all coexist.
+func sampleStepMemory(n *Network, opt optim.Optimizer) {
+	if !prof.Enabled() {
+		return
+	}
+	_, packBytes := tensor.PoolRetainedBytes()
+	prof.SampleMemory(n.WeightBytes(), n.GradientBytes(), n.StashBytes(), packBytes, opt.StateBytes())
+}
 
 // Network is a trainable model: a root layer (usually a container) plus
 // bookkeeping for parameters and memory accounting.
@@ -87,20 +100,33 @@ type StepResult struct {
 // cross-entropy against labels, backward, optional gradient clipping
 // (clip <= 0 disables), and an optimizer update.
 func TrainClassifierStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels []int, clip float32) StepResult {
+	step := prof.Begin(prof.CatPhase, "step")
 	params := n.Params()
 	optim.ZeroGrads(params)
+	sp := prof.Begin(prof.CatPhase, "phase.forward")
 	logits := n.Forward(x, true)
+	sp.End()
+	sp = prof.Begin(prof.CatPhase, "phase.loss")
 	loss, grad := tensor.CrossEntropy(logits, labels)
+	sp.End()
+	sp = prof.Begin(prof.CatPhase, "phase.backward")
 	n.Backward(grad)
+	sp.End()
 	// The loss gradient is this step's own buffer and dead after backward;
 	// the logits and input gradient belong to the layers that produced
 	// them and are recycled on the next step.
 	grad.Release()
+	// Post-backward is the step's liveness peak: stashed feature maps are
+	// still held, gradients are full, and optimizer state exists.
+	sampleStepMemory(n, opt)
 	var norm float32
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)
 	}
+	sp = prof.Begin(prof.CatPhase, "phase.update")
 	opt.Step(params)
+	sp.End()
+	step.End()
 	return StepResult{Loss: loss, Accuracy: tensor.Accuracy(logits, labels), GradNorm: norm}
 }
 
@@ -122,19 +148,27 @@ func TrainClassifierAccumulated(n *Network, opt optim.Optimizer, microX []*tenso
 	if k == 0 || len(microLabels) != k {
 		panic(fmt.Sprintf("graph: %d micro-batches with %d label sets", k, len(microLabels)))
 	}
+	step := prof.Begin(prof.CatPhase, "step")
 	params := n.Params()
 	optim.ZeroGrads(params)
 	var lossSum float64
 	var correct, total int
 	inv := 1 / float32(k)
 	for i := 0; i < k; i++ {
+		sp := prof.Begin(prof.CatPhase, "phase.forward")
 		logits := n.Forward(microX[i], true)
+		sp.End()
+		sp = prof.Begin(prof.CatPhase, "phase.loss")
 		loss, grad := tensor.CrossEntropy(logits, microLabels[i])
+		sp.End()
 		// CrossEntropy already averages within the micro-batch; scale by
 		// 1/k so the accumulated gradient averages over the full batch.
 		grad.ScaleInPlace(inv)
+		sp = prof.Begin(prof.CatPhase, "phase.backward")
 		n.Backward(grad)
+		sp.End()
 		grad.Release()
+		sampleStepMemory(n, opt)
 		lossSum += float64(loss)
 		pred := tensor.ArgmaxRows(logits)
 		for j, p := range pred {
@@ -149,7 +183,10 @@ func TrainClassifierAccumulated(n *Network, opt optim.Optimizer, microX []*tenso
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)
 	}
+	sp := prof.Begin(prof.CatPhase, "phase.update")
 	opt.Step(params)
+	sp.End()
+	step.End()
 	return StepResult{
 		Loss:     float32(lossSum / float64(k)),
 		Accuracy: float64(correct) / float64(total),
@@ -160,21 +197,32 @@ func TrainClassifierAccumulated(n *Network, opt optim.Optimizer, microX []*tenso
 // TrainSequenceStep runs one step of per-token classification for sequence
 // models: logits [N*T, V] against flat labels.
 func TrainSequenceStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels []int, clip float32) StepResult {
+	step := prof.Begin(prof.CatPhase, "step")
 	params := n.Params()
 	optim.ZeroGrads(params)
+	sp := prof.Begin(prof.CatPhase, "phase.forward")
 	out := n.Forward(x, true)
+	sp.End()
 	rows := len(labels)
 	if out.Numel()%rows != 0 {
 		panic(fmt.Sprintf("graph: output %v incompatible with %d labels", out.Shape(), rows))
 	}
 	logits := out.Reshape(rows, out.Numel()/rows)
+	sp = prof.Begin(prof.CatPhase, "phase.loss")
 	loss, grad := tensor.CrossEntropy(logits, labels)
+	sp.End()
+	sp = prof.Begin(prof.CatPhase, "phase.backward")
 	n.Backward(grad.Reshape(out.Shape()...))
+	sp.End()
 	grad.Release()
+	sampleStepMemory(n, opt)
 	var norm float32
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)
 	}
+	sp = prof.Begin(prof.CatPhase, "phase.update")
 	opt.Step(params)
+	sp.End()
+	step.End()
 	return StepResult{Loss: loss, Accuracy: tensor.Accuracy(logits, labels), GradNorm: norm}
 }

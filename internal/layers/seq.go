@@ -1,6 +1,9 @@
 package layers
 
-import "tbd/internal/tensor"
+import (
+	"tbd/internal/prof"
+	"tbd/internal/tensor"
+)
 
 // Sequential chains layers, feeding each one's output to the next.
 type Sequential struct {
@@ -19,8 +22,13 @@ func (s *Sequential) Add(ls ...Layer) { s.Layers = append(s.Layers, ls...) }
 func (s *Sequential) Name() string { return s.name }
 
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	// Span names are the layers' stored names, so the disabled path never
+	// builds a string; kernel spans opened inside each layer nest under its
+	// layer span in the trace.
 	for _, l := range s.Layers {
+		sp := prof.Begin(prof.CatForward, l.Name())
 		x = l.Forward(x, train)
+		sp.End()
 	}
 	return x
 }
@@ -30,7 +38,9 @@ func (s *Sequential) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	// them, each on its own next Backward call.
 	g := gy
 	for i := len(s.Layers) - 1; i >= 0; i-- {
+		sp := prof.Begin(prof.CatBackward, s.Layers[i].Name())
 		g = s.Layers[i].Backward(g)
+		sp.End()
 	}
 	return g
 }
@@ -69,6 +79,7 @@ func NewResidual(name string, body Layer, proj Layer) *Residual {
 func (r *Residual) Name() string { return r.name }
 
 func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	sp := prof.Begin(prof.CatForward, r.name)
 	r.out.Release()
 	y := r.Body.Forward(x, train)
 	skip := x
@@ -77,10 +88,12 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	out := tensor.Add(y, skip)
 	r.out = out
+	sp.End()
 	return out
 }
 
 func (r *Residual) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	sp := prof.Begin(prof.CatBackward, r.name)
 	gx := r.Body.Backward(gy)
 	if r.Proj != nil {
 		// The projection's gradient buffer belongs to the projection
@@ -90,6 +103,7 @@ func (r *Residual) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	} else {
 		tensor.AddInPlace(gx, gy)
 	}
+	sp.End()
 	return gx
 }
 

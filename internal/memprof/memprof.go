@@ -13,6 +13,7 @@ import (
 
 	"tbd/internal/graph"
 	"tbd/internal/kernels"
+	"tbd/internal/prof"
 )
 
 // Breakdown is the per-category memory footprint in bytes.
@@ -118,6 +119,20 @@ func MaxBatch(ops []*kernels.Op, candidates []int, p Policy, capacity int64) int
 		}
 	}
 	return best
+}
+
+// ProfileLive converts the runtime profiler's memory watermark (sampled
+// once per training step by the graph drivers while prof is enabled) into
+// the Figure-9 breakdown. Each category holds its own observed maximum, so
+// the result is the per-category peak over the profiled window.
+func ProfileLive(w prof.MemWatermark) Breakdown {
+	return Breakdown{
+		Weights:         w.Weights,
+		WeightGradients: w.WeightGradients,
+		FeatureMaps:     w.FeatureMaps,
+		Workspace:       w.Workspace,
+		Dynamic:         w.Dynamic,
+	}
 }
 
 // ProfileNetwork measures a live numeric network after a training-mode

@@ -11,7 +11,23 @@ import (
 	"math"
 
 	"tbd/internal/layers"
+	"tbd/internal/prof"
 )
+
+// beginStepSpan opens a profiler span for one optimizer update, attaching
+// the parameter traffic (weights and gradients read, weights written, plus
+// any per-parameter state streamed through). stateWords is the number of
+// float32 state values touched per parameter element (0 for SGD, 1 for
+// momentum/RMSProp, 2 for Adam).
+func beginStepSpan(name string, params []*layers.Param, stateWords int64) prof.Span {
+	sp := prof.Begin(prof.CatOptim, name)
+	if sp.Active() {
+		n := layers.ParamCount(params)
+		sp.SetBytes(4 * n * (3 + 2*stateWords))
+		sp.SetFLOPs(float64(n) * float64(2+4*stateWords))
+	}
+	return sp
+}
 
 // Optimizer updates parameters in place from their accumulated gradients.
 type Optimizer interface {
@@ -85,9 +101,11 @@ func NewSGD(lr float32) *SGD { return &SGD{LR: lr} }
 
 // Step applies w -= lr * (g + wd*w).
 func (o *SGD) Step(params []*layers.Param) {
+	sp := beginStepSpan("optim.sgd", params, 0)
 	for _, p := range params {
 		sgdStep(p.Value.Data(), p.Grad.Data(), o.LR, o.WeightDecay)
 	}
+	sp.End()
 }
 
 // StateBytes is zero: SGD is stateless.
@@ -109,6 +127,7 @@ func NewMomentum(lr, mu float32) *Momentum {
 
 // Step applies v = mu*v - lr*g; w += v (or the Nesterov variant).
 func (o *Momentum) Step(params []*layers.Param) {
+	sp := beginStepSpan("optim.momentum", params, 1)
 	for _, p := range params {
 		v, ok := o.velocity[p]
 		if !ok {
@@ -122,6 +141,7 @@ func (o *Momentum) Step(params []*layers.Param) {
 			momentumStep(p.Value.Data(), p.Grad.Data(), v, o.LR, o.Mu, o.WeightDecay)
 		}
 	}
+	sp.End()
 }
 
 // StateBytes reports the velocity buffers.
@@ -167,6 +187,7 @@ func NewAdam(lr float32) *Adam {
 
 // Step applies one bias-corrected Adam update.
 func (o *Adam) Step(params []*layers.Param) {
+	sp := beginStepSpan("optim.adam", params, 2)
 	o.t++
 	c1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
 	c2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
@@ -180,6 +201,7 @@ func (o *Adam) Step(params []*layers.Param) {
 		v := o.v[p]
 		adamStep(p.Value.Data(), p.Grad.Data(), m, v, o.LR, o.Beta1, o.Beta2, o.Eps, c1, c2)
 	}
+	sp.End()
 }
 
 // StateBytes reports the first- and second-moment buffers.
@@ -226,6 +248,7 @@ func NewRMSProp(lr float32) *RMSProp {
 
 // Step applies s = d*s + (1-d)*g²; w -= lr*g/sqrt(s+eps).
 func (o *RMSProp) Step(params []*layers.Param) {
+	sp := beginStepSpan("optim.rmsprop", params, 1)
 	for _, p := range params {
 		s, ok := o.sq[p]
 		if !ok {
@@ -234,6 +257,7 @@ func (o *RMSProp) Step(params []*layers.Param) {
 		}
 		rmspropStep(p.Value.Data(), p.Grad.Data(), s, o.LR, o.Decay, o.Eps)
 	}
+	sp.End()
 }
 
 // StateBytes reports the squared-gradient buffers.

@@ -1,0 +1,118 @@
+package prof_test
+
+// Integration tests against the real engine: the profiler must observe a
+// genuine training run (not synthetic spans), must not perturb the
+// numerics, and its memory watermark must agree with the graph package's
+// own accounting.
+
+import (
+	"testing"
+
+	"tbd/internal/data"
+	"tbd/internal/graph"
+	"tbd/internal/models"
+	"tbd/internal/optim"
+	"tbd/internal/prof"
+	"tbd/internal/tensor"
+)
+
+// trainTwin runs steps training iterations of the numeric ResNet twin from
+// a fixed seed and returns the network and optimizer.
+func trainTwin(steps int) (*graph.Network, *optim.Adam) {
+	rng := tensor.NewRNG(10)
+	src := data.NewImageSource(rng, 3, 8, 8, 10, 0.3)
+	net := models.NumericResNet(rng, 3, 8, 10)
+	opt := optim.NewAdam(0.01)
+	batch := src.Batch(8)
+	for i := 0; i < steps; i++ {
+		graph.TrainClassifierStep(net, opt, batch.X, batch.Labels, 5)
+	}
+	return net, opt
+}
+
+// TestProfilerBitIdentity pins the observer effect to zero: an identically
+// seeded training run produces bit-equal weights whether or not the
+// profiler is capturing.
+func TestProfilerBitIdentity(t *testing.T) {
+	prof.Disable()
+	base, _ := trainTwin(5)
+
+	prof.Enable()
+	profiled, _ := trainTwin(5)
+	prof.Disable()
+
+	pb, pp := base.Params(), profiled.Params()
+	if len(pb) != len(pp) {
+		t.Fatalf("param count differs: %d vs %d", len(pb), len(pp))
+	}
+	for i := range pb {
+		if !tensor.Equal(pb[i].Value, pp[i].Value, 0) {
+			t.Fatalf("param %d diverged with profiler enabled", i)
+		}
+	}
+}
+
+// TestKernelStatsFromRealTraining checks that profiling a real run yields
+// the per-kernel table and timeline the tooling layers consume: GEMM and
+// conv kernels with FLOPs attached, training phases, and pool traffic.
+func TestKernelStatsFromRealTraining(t *testing.T) {
+	prof.Enable()
+	trainTwin(3)
+	snap := prof.Stats()
+	prof.Disable()
+
+	if len(snap.Kernels) == 0 || snap.Events == 0 {
+		t.Fatalf("no kernels or events captured: %+v", snap)
+	}
+	byName := map[string]prof.KernelStat{}
+	for _, k := range snap.Kernels {
+		byName[k.Name+"/"+k.Cat] = k
+	}
+	for _, want := range []string{"conv2d.fwd/kernel", "conv2d.bwd/kernel", "loss.xent/kernel", "step/phase", "phase.forward/phase", "phase.backward/phase", "phase.update/phase", "optim.adam/optim"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("missing expected kernel stat %q; have %v", want, snap.Kernels)
+		}
+	}
+	conv := byName["conv2d.fwd/kernel"]
+	if conv.Count < 3 || conv.GFLOPS <= 0 {
+		t.Fatalf("conv2d.fwd stat implausible: %+v", conv)
+	}
+	if step := byName["step/phase"]; step.Count != 3 {
+		t.Fatalf("step count = %d, want 3", step.Count)
+	}
+	if conv.PoolGets == 0 {
+		t.Fatal("conv spans observed no pool traffic")
+	}
+}
+
+// TestWatermarkMatchesGraphAccounting pins the memory watermark's weight,
+// gradient, feature-map, and dynamic categories to the graph and optimizer
+// packages' own byte accounting, exactly.
+func TestWatermarkMatchesGraphAccounting(t *testing.T) {
+	prof.Enable()
+	net, opt := trainTwin(3)
+	w := prof.Watermark()
+	prof.Disable()
+
+	if w.Samples != 3 {
+		t.Fatalf("watermark samples = %d, want 3", w.Samples)
+	}
+	if w.Weights != net.WeightBytes() {
+		t.Fatalf("watermark weights %d != WeightBytes %d", w.Weights, net.WeightBytes())
+	}
+	if w.WeightGradients != net.GradientBytes() {
+		t.Fatalf("watermark gradients %d != GradientBytes %d", w.WeightGradients, net.GradientBytes())
+	}
+	if w.FeatureMaps != net.StashBytes() {
+		t.Fatalf("watermark feature maps %d != StashBytes %d", w.FeatureMaps, net.StashBytes())
+	}
+	if w.Dynamic != opt.StateBytes() {
+		t.Fatalf("watermark dynamic %d != optimizer StateBytes %d", w.Dynamic, opt.StateBytes())
+	}
+	if tensor.PoolingEnabled() && w.Workspace == 0 {
+		t.Fatal("watermark workspace is zero with pooling enabled")
+	}
+	if w.PeakTotal < w.Weights+w.WeightGradients {
+		t.Fatalf("peak total %d below weights+gradients", w.PeakTotal)
+	}
+}

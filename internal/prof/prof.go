@@ -1,0 +1,320 @@
+// Package prof is the live training profiler: the runtime half of the
+// paper's analysis pipeline (Figure 3), pointed at the real numeric
+// engine instead of the simulator. It captures per-op spans — wall time,
+// FLOPs, bytes moved, and tensor-pool acquire/hit deltas — from the GEMM
+// and convolution kernels, layer forward/backward calls, training-step
+// phases, optimizer updates, and serving batches, and aggregates them
+// into the per-kernel tables and timelines the paper builds from
+// nvprof/CUPTI captures.
+//
+// The profiler is always compiled in and gated by one atomic load: with
+// profiling disabled, Begin reads the gate and returns a zero Span, End
+// is a nil-time check, and no allocation or clock read happens anywhere
+// on the path. Instrumented code therefore never needs build tags or
+// wrapper indirection, and the engine's numeric results are bit-identical
+// with the profiler on or off (spans only observe).
+//
+// prof sits below every engine package: it imports only the standard
+// library and internal/report. internal/tensor installs the pool-counter
+// source at init so spans can attribute buffer churn without prof
+// depending on tensor.
+package prof
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cat classifies a span for aggregation and timeline coloring.
+type Cat uint8
+
+const (
+	// CatKernel marks numeric kernel entry points (GEMM, conv, im2col,
+	// loss) — the rows of the paper's per-kernel tables.
+	CatKernel Cat = iota
+	// CatForward and CatBackward mark per-layer calls.
+	CatForward
+	CatBackward
+	// CatPhase marks training-step phases (forward/loss/backward/update).
+	CatPhase
+	// CatOptim marks optimizer update sweeps.
+	CatOptim
+	// CatServe marks serving batches.
+	CatServe
+)
+
+// String returns the category label used in stats tables and trace files.
+func (c Cat) String() string {
+	switch c {
+	case CatKernel:
+		return "kernel"
+	case CatForward:
+		return "fwd"
+	case CatBackward:
+		return "bwd"
+	case CatPhase:
+		return "phase"
+	case CatOptim:
+		return "optim"
+	case CatServe:
+		return "serve"
+	}
+	return "other"
+}
+
+// enabled is the global capture gate: the only state the disabled fast
+// path touches.
+var enabled atomic.Bool
+
+// poolSource reports the shared tensor pool's cumulative (gets, hits).
+// internal/tensor installs it at package init (before any goroutine can
+// profile), so reads here need no synchronization.
+var poolSource func() (gets, hits uint64)
+
+// SetPoolCounterSource installs the function spans use to read pool
+// acquire/hit counters. Called from package init of the pool's owner.
+func SetPoolCounterSource(fn func() (gets, hits uint64)) { poolSource = fn }
+
+// defaultMaxRecords bounds the retained span timeline (~4.7 MB). Stats
+// aggregation is unaffected by the cap; only the Chrome-trace window
+// truncates, with the overflow counted in Dropped.
+const defaultMaxRecords = 1 << 16
+
+// Record is one completed span, timestamped relative to the Enable call.
+type Record struct {
+	Name     string
+	Cat      Cat
+	Start    time.Duration
+	Dur      time.Duration
+	FLOPs    float64
+	Bytes    int64
+	PoolGets uint64
+	PoolHits uint64
+}
+
+// aggKey identifies one stats row.
+type aggKey struct {
+	name string
+	cat  Cat
+}
+
+// aggVal accumulates one stats row.
+type aggVal struct {
+	count    uint64
+	total    time.Duration
+	flops    float64
+	bytes    int64
+	poolGets uint64
+	poolHits uint64
+}
+
+// collector is the capture state behind the gate. One mutex serializes
+// record appends from any goroutine; at a few hundred spans per training
+// step the lock is far below the <3% enabled-overhead budget.
+var collector struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	stopped  time.Time // zero while capturing
+	recs     []Record
+	maxRecs  int
+	dropped  uint64
+	agg      map[aggKey]*aggVal
+	mem      MemWatermark
+	memTotal int64 // running max of the summed sample
+}
+
+// Enable starts a fresh capture: previous records, aggregates, and the
+// memory watermark are discarded and the span clock restarts at zero.
+func Enable() {
+	collector.mu.Lock()
+	if collector.maxRecs == 0 {
+		collector.maxRecs = defaultMaxRecords
+	}
+	collector.epoch = time.Now()
+	collector.stopped = time.Time{}
+	collector.recs = collector.recs[:0]
+	collector.dropped = 0
+	collector.agg = make(map[aggKey]*aggVal)
+	collector.mem = MemWatermark{}
+	collector.memTotal = 0
+	collector.mu.Unlock()
+	enabled.Store(true)
+}
+
+// Disable stops the capture, freezing the wall-clock span that Stats
+// reports percentages against. Captured data stays readable until the
+// next Enable.
+func Disable() {
+	enabled.Store(false)
+	collector.mu.Lock()
+	if !collector.epoch.IsZero() && collector.stopped.IsZero() {
+		collector.stopped = time.Now()
+	}
+	collector.mu.Unlock()
+}
+
+// Enabled reports whether a capture is running.
+func Enabled() bool { return enabled.Load() }
+
+// SetMaxRecords bounds the retained span timeline for the NEXT Enable.
+// n <= 0 restores the default.
+func SetMaxRecords(n int) {
+	collector.mu.Lock()
+	if n <= 0 {
+		n = defaultMaxRecords
+	}
+	collector.maxRecs = n
+	collector.mu.Unlock()
+}
+
+// Span is one in-flight measurement. The zero Span (returned when
+// profiling is off) makes every method a no-op, so instrumented code
+// carries no conditionals. Spans are values: they live on the
+// instrumented function's stack and never allocate.
+type Span struct {
+	name  string
+	t0    time.Time
+	flops float64
+	bytes int64
+	g0    uint64
+	h0    uint64
+	cat   Cat
+}
+
+// Begin opens a span. name must be a preexisting string (a constant or a
+// stored layer name) — building one at the call site would allocate even
+// when profiling is off.
+func Begin(cat Cat, name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	var g, h uint64
+	if poolSource != nil {
+		g, h = poolSource()
+	}
+	return Span{name: name, cat: cat, g0: g, h0: h, t0: time.Now()}
+}
+
+// Active reports whether the span is recording, so callers can skip
+// non-trivial metric computation when profiling is off.
+func (s *Span) Active() bool { return !s.t0.IsZero() }
+
+// SetFLOPs attaches the span's useful floating-point work.
+func (s *Span) SetFLOPs(f float64) { s.flops = f }
+
+// SetBytes attaches the span's bytes moved (operand + result traffic).
+func (s *Span) SetBytes(n int64) { s.bytes = n }
+
+// End closes the span and records it. A span that began while profiling
+// was off, or whose capture was restarted mid-flight, is discarded.
+func (s *Span) End() {
+	if s.t0.IsZero() {
+		return
+	}
+	dur := time.Since(s.t0)
+	var g, h uint64
+	if poolSource != nil {
+		g, h = poolSource()
+	}
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	start := s.t0.Sub(collector.epoch)
+	if collector.epoch.IsZero() || start < 0 {
+		return // capture restarted after Begin; drop the orphan
+	}
+	key := aggKey{name: s.name, cat: s.cat}
+	a := collector.agg[key]
+	if a == nil {
+		a = &aggVal{}
+		collector.agg[key] = a
+	}
+	a.count++
+	a.total += dur
+	a.flops += s.flops
+	a.bytes += s.bytes
+	a.poolGets += g - s.g0
+	a.poolHits += h - s.h0
+	if len(collector.recs) >= collector.maxRecs {
+		collector.dropped++
+		return
+	}
+	collector.recs = append(collector.recs, Record{
+		Name:     s.name,
+		Cat:      s.cat,
+		Start:    start,
+		Dur:      dur,
+		FLOPs:    s.flops,
+		Bytes:    s.bytes,
+		PoolGets: g - s.g0,
+		PoolHits: h - s.h0,
+	})
+}
+
+// Records returns a copy of the captured span timeline, in completion
+// order.
+func Records() []Record {
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	return append([]Record(nil), collector.recs...)
+}
+
+// Dropped reports spans discarded after the timeline filled. Aggregated
+// stats still include them.
+func Dropped() uint64 {
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	return collector.dropped
+}
+
+// MemWatermark attributes peak live bytes to the paper's five memory
+// categories (Figure 9). Each category holds its own maximum across
+// samples; PeakTotal is the largest single-sample sum (the footprint a
+// device would need).
+type MemWatermark struct {
+	Weights         int64  `json:"weights"`
+	WeightGradients int64  `json:"weight_gradients"`
+	FeatureMaps     int64  `json:"feature_maps"`
+	Workspace       int64  `json:"workspace"`
+	Dynamic         int64  `json:"dynamic"`
+	PeakTotal       int64  `json:"peak_total"`
+	Samples         uint64 `json:"samples"`
+}
+
+// SampleMemory folds one live measurement into the watermark: weights,
+// weight gradients, stashed feature maps, workspace (pool/pack scratch),
+// and dynamic (optimizer state) bytes. The graph step drivers call it
+// once per training step at peak stash.
+func SampleMemory(weights, grads, featureMaps, workspace, dynamic int64) {
+	if !enabled.Load() {
+		return
+	}
+	total := weights + grads + featureMaps + workspace + dynamic
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	m := &collector.mem
+	m.Weights = max64(m.Weights, weights)
+	m.WeightGradients = max64(m.WeightGradients, grads)
+	m.FeatureMaps = max64(m.FeatureMaps, featureMaps)
+	m.Workspace = max64(m.Workspace, workspace)
+	m.Dynamic = max64(m.Dynamic, dynamic)
+	if total > collector.memTotal {
+		collector.memTotal = total
+		m.PeakTotal = total
+	}
+	m.Samples++
+}
+
+// Watermark returns a copy of the current memory watermark.
+func Watermark() MemWatermark {
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	return collector.mem
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"tbd/internal/report"
+)
+
+// KernelStat is one aggregated stats row: every span with the same
+// (name, category) pair folded together, mirroring the per-kernel
+// breakdowns of the paper's Figures 5-7.
+type KernelStat struct {
+	Name    string  `json:"name"`
+	Cat     string  `json:"cat"`
+	Count   uint64  `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MeanUs  float64 `json:"mean_us"`
+	// PctWall is the row's share of the capture wall time. Rows nest
+	// (a phase span contains its layer spans contains its GEMM spans),
+	// so shares sum past 100% across categories but are comparable
+	// within one.
+	PctWall float64 `json:"pct_wall"`
+	// GFLOPS is achieved throughput over the row's spans (0 when the
+	// instrumentation attached no FLOP count).
+	GFLOPS   float64 `json:"gflops"`
+	Bytes    int64   `json:"bytes"`
+	PoolGets uint64  `json:"pool_gets"`
+	PoolHits uint64  `json:"pool_hits"`
+}
+
+// Snapshot is a point-in-time export of the capture: aggregated kernel
+// stats (sorted by total time, descending), the memory watermark, and
+// timeline accounting. It is the JSON body of the /debug/prof endpoint.
+type Snapshot struct {
+	Enabled       bool         `json:"enabled"`
+	WallSec       float64      `json:"wall_sec"`
+	Kernels       []KernelStat `json:"kernels"`
+	Mem           MemWatermark `json:"memory_watermark"`
+	Events        int          `json:"events"`
+	DroppedEvents uint64       `json:"dropped_events"`
+}
+
+// Stats aggregates the capture so far. Safe to call while profiling is
+// running (the /debug/prof endpoint does); percentages then use the
+// elapsed wall time.
+func Stats() Snapshot {
+	collector.mu.Lock()
+	defer collector.mu.Unlock()
+	var wall time.Duration
+	if !collector.epoch.IsZero() {
+		if collector.stopped.IsZero() {
+			wall = time.Since(collector.epoch)
+		} else {
+			wall = collector.stopped.Sub(collector.epoch)
+		}
+	}
+	snap := Snapshot{
+		Enabled:       enabled.Load(),
+		WallSec:       wall.Seconds(),
+		Mem:           collector.mem,
+		Events:        len(collector.recs),
+		DroppedEvents: collector.dropped,
+	}
+	snap.Kernels = make([]KernelStat, 0, len(collector.agg))
+	for k, a := range collector.agg {
+		ks := KernelStat{
+			Name:     k.name,
+			Cat:      k.cat.String(),
+			Count:    a.count,
+			TotalMs:  1e3 * a.total.Seconds(),
+			Bytes:    a.bytes,
+			PoolGets: a.poolGets,
+			PoolHits: a.poolHits,
+		}
+		if a.count > 0 {
+			ks.MeanUs = 1e6 * a.total.Seconds() / float64(a.count)
+		}
+		if wall > 0 {
+			ks.PctWall = 100 * a.total.Seconds() / wall.Seconds()
+		}
+		if sec := a.total.Seconds(); sec > 0 && a.flops > 0 {
+			ks.GFLOPS = a.flops / sec / 1e9
+		}
+		snap.Kernels = append(snap.Kernels, ks)
+	}
+	sort.Slice(snap.Kernels, func(i, j int) bool {
+		a, b := snap.Kernels[i], snap.Kernels[j]
+		if a.TotalMs != b.TotalMs {
+			return a.TotalMs > b.TotalMs
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Cat < b.Cat
+	})
+	return snap
+}
+
+// Table renders the snapshot's kernel rows as a report table (aligned
+// ASCII, markdown, CSV, or JSON via the report package's writers).
+// topK <= 0 keeps every row.
+func (s Snapshot) Table(topK int) *report.Table {
+	t := &report.Table{
+		Title:   "Per-kernel profile (live engine)",
+		Columns: []string{"Kernel", "Cat", "Count", "Total ms", "Mean µs", "% wall", "GFLOP/s", "Pool gets", "Pool hits"},
+	}
+	rows := s.Kernels
+	if topK > 0 && len(rows) > topK {
+		rows = rows[:topK]
+	}
+	for _, k := range rows {
+		t.AddRow(k.Name, k.Cat, k.Count, k.TotalMs, k.MeanUs, k.PctWall, k.GFLOPS, k.PoolGets, k.PoolHits)
+	}
+	return t
+}
+
+// WriteJSON writes the full snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

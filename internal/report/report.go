@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -144,6 +145,27 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON writes the table as an array of column-keyed objects, one per
+// row — the shape spreadsheet and plotting tools ingest directly.
+func (t *Table) WriteJSON(w io.Writer) error {
+	rows := make([]map[string]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		obj := make(map[string]string, len(t.Columns))
+		for i, c := range t.Columns {
+			if i < len(r) {
+				obj[c] = r[i]
+			}
+		}
+		rows = append(rows, obj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title string              `json:"title,omitempty"`
+		Rows  []map[string]string `json:"rows"`
+	}{t.Title, rows})
 }
 
 // Series is one labeled line of a figure.

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -110,5 +111,28 @@ func TestMarkdownRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tbl := &Table{Title: "K", Columns: []string{"kernel", "ms"}}
+	tbl.AddRow("gemm", 1.25)
+	tbl.AddRow("conv2d.fwd", 3.5)
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "K" || len(got.Rows) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Rows[1]["kernel"] != "conv2d.fwd" || got.Rows[1]["ms"] != "3.5" {
+		t.Fatalf("row 1 = %v", got.Rows[1])
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 
+	"tbd/internal/prof"
 	"tbd/internal/tensor"
 )
 
@@ -23,9 +24,10 @@ type PredictResponse struct {
 
 // NewHandler exposes a Service over HTTP/JSON:
 //
-//	POST /predict  {"input": [...]}  -> {"output": [...], "latency_ms": m, "batch_size": b}
-//	GET  /stats    -> StatsSnapshot JSON
-//	GET  /healthz  -> {"status": "ok", "sample_shape": [...]}
+//	POST /predict     {"input": [...]}  -> {"output": [...], "latency_ms": m, "batch_size": b}
+//	GET  /stats       -> StatsSnapshot JSON
+//	GET  /healthz     -> {"status": "ok", "sample_shape": [...]}
+//	GET  /debug/prof  -> live profiler snapshot (per-kernel stats + memory watermark)
 //
 // Admission-control outcomes map onto status codes: a shed request is
 // 429 Too Many Requests, a request during drain is 503 Service
@@ -67,6 +69,9 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/debug/prof", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, prof.Stats())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, struct {

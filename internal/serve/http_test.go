@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"tbd/internal/prof"
 )
 
 func postPredict(t *testing.T, srv *httptest.Server, input []float32) *http.Response {
@@ -90,6 +92,42 @@ func TestHTTPHandler(t *testing.T) {
 	hResp.Body.Close()
 	if health.Status != "ok" || len(health.SampleShape) != 1 || health.SampleShape[0] != 4 {
 		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+// TestHTTPDebugProf exercises the live-profiler endpoint: with capture on,
+// a served batch must surface as a serve-category row in the snapshot.
+func TestHTTPDebugProf(t *testing.T) {
+	svc := New(NewSession(identityModel{}, 4), Config{MaxBatch: 4})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	prof.Enable()
+	defer prof.Disable()
+	resp := postPredict(t, srv, []float32{1, 2, 3, 4})
+	resp.Body.Close()
+
+	pResp, err := http.Get(srv.URL + "/debug/prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap prof.Snapshot
+	if err := json.NewDecoder(pResp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	pResp.Body.Close()
+	if !snap.Enabled {
+		t.Fatalf("snapshot reports disabled: %+v", snap)
+	}
+	found := false
+	for _, k := range snap.Kernels {
+		if k.Name == "serve.batch" && k.Cat == "serve" && k.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no serve.batch row in /debug/prof: %+v", snap.Kernels)
 	}
 }
 

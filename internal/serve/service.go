@@ -9,6 +9,7 @@ import (
 
 	"tbd/internal/kernels"
 	"tbd/internal/metrics"
+	"tbd/internal/prof"
 	"tbd/internal/sim"
 	"tbd/internal/tensor"
 	"tbd/internal/trace"
@@ -270,9 +271,14 @@ func (s *Service) flush(batch []*request) {
 		copy(x.Data()[i*L:(i+1)*L], r.x.Data())
 	}
 
+	sp := prof.Begin(prof.CatServe, "serve.batch")
+	if sp.Active() {
+		sp.SetBytes(4 * int64(x.Numel()))
+	}
 	t0 := time.Now()
 	out, err := s.inferBatch(x)
 	dur := time.Since(t0)
+	sp.End()
 
 	if err != nil {
 		x.Release()

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"tbd/internal/prof"
 )
 
 // ConvOut returns the output spatial size for one dimension of a
@@ -29,10 +31,16 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Im2Col produces empty output for %v k=%dx%d s=%d p=%d", x.shape, kh, kw, stride, pad))
 	}
+	sp := prof.Begin(prof.CatKernel, "im2col")
+	if sp.Active() {
+		// Pure data movement: one read of x, one write of the lowering.
+		sp.SetBytes(4 * (int64(x.Numel()) + int64(n)*int64(c*kh*kw)*int64(oh*ow)))
+	}
 	// im2colRange writes every element (padding positions explicitly), so
 	// the destination can skip the zero-fill memclr.
 	out := acquireDirty(n, c*kh*kw, oh*ow)
 	im2colRows(out, x, kh, kw, stride, pad)
+	sp.End()
 	return out
 }
 
@@ -127,8 +135,13 @@ func im2colRange(dst, x []float32, c, h, w, oh, ow, kh, kw, stride, pad, rlo, rh
 // worker pool — lowered rows overlap within an image but never across
 // images, so the += scatter order per element is unchanged by the split.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	sp := prof.Begin(prof.CatKernel, "col2im")
+	if sp.Active() {
+		sp.SetBytes(4 * (int64(cols.Numel()) + int64(n)*int64(c)*int64(h)*int64(w)))
+	}
 	out := Acquire(n, c, h, w)
 	col2imInto(out, cols, n, c, h, w, kh, kw, stride, pad)
+	sp.End()
 	return out
 }
 
@@ -262,6 +275,11 @@ func conv2DForward(x, w, bias *Tensor, act ActKind, stride, pad int) (out, cols 
 	if bias != nil && (bias.Rank() != 1 || bias.shape[0] != f) {
 		panic(fmt.Sprintf("tensor: Conv2D bias %v, want [%d]", bias.shape, f))
 	}
+	sp := prof.Begin(prof.CatKernel, "conv2d.fwd")
+	if sp.Active() {
+		sp.SetFLOPs(2 * float64(n) * float64(f) * float64(ckk) * float64(ohw))
+		sp.SetBytes(4 * (int64(x.Numel()) + int64(w.Numel()) + int64(n)*int64(f)*int64(ohw)))
+	}
 	if conv1x1Direct(kh, kw, stride, pad) {
 		cols = x.Reshape(n, ckk, ohw)
 	} else {
@@ -281,6 +299,7 @@ func conv2DForward(x, w, bias *Tensor, act ActKind, stride, pad int) (out, cols 
 			convFwdImages(out.data, w.data, cols.data, f, ckk, ohw, blo, bhi, ep)
 		})
 	}
+	sp.End()
 	return out, cols
 }
 
@@ -311,6 +330,13 @@ func Conv2DBackwardCols(cols *Tensor, xShape []int, w, gy *Tensor, stride, pad i
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wid, kw, stride, pad)
 	ohw := oh * ow
 	ckk := c * kh * kw
+	sp := prof.Begin(prof.CatKernel, "conv2d.bwd")
+	if sp.Active() {
+		// Two GEMMs per image (weight gradient and lowered input gradient),
+		// each 2·f·ckk·ohw multiply-adds.
+		sp.SetFLOPs(4 * float64(n) * float64(f) * float64(ckk) * float64(ohw))
+		sp.SetBytes(4 * (int64(cols.Numel()) + int64(gy.Numel()) + int64(w.Numel()) + int64(n)*int64(c)*int64(h)*int64(wid)))
+	}
 	// gw is shaped [F, C, kh, kw] directly (no reshape view, so the buffer
 	// keeps pool ownership). The image loop stays serial — accumulation
 	// order is image-major — while workers split gw's output rows inside
@@ -335,6 +361,7 @@ func Conv2DBackwardCols(cols *Tensor, xShape []int, w, gy *Tensor, stride, pad i
 				convBwdDataImages(gx.data, gy.data, w.data, f, ohw, ckk, blo, bhi)
 			})
 		}
+		sp.End()
 		return gx, gw
 	}
 	gcols := acquireDirty(n, ckk, ohw)
@@ -347,6 +374,7 @@ func Conv2DBackwardCols(cols *Tensor, xShape []int, w, gy *Tensor, stride, pad i
 	}
 	gx = Col2Im(gcols, n, c, h, wid, kh, kw, stride, pad)
 	gcols.Release()
+	sp.End()
 	return gx, gw
 }
 

@@ -272,21 +272,21 @@ func TestPackBuffersSeparateSizeClass(t *testing.T) {
 		t.Fatal("getPack returned a released tensor buffer")
 	}
 
-	// The shared pool's PackStats counter moves with the packed GEMM and
-	// PoolStats does not double-count pack traffic.
-	g0, _ := PackStats()
-	tg0, _, _ := PoolStats()
+	// The shared pool's pack counters move with the packed GEMM and the
+	// tensor counters do not double-count pack traffic. Taken as grouped
+	// snapshots so the multi-counter read cannot tear against concurrent
+	// pool users.
+	s0 := PoolStatsSnapshot()
 	a := New(32, 64)
 	b := New(64, 32)
 	fillRand(NewRNG(46), a.Data())
 	fillRand(NewRNG(47), b.Data())
 	MatMul(a, b).Release()
-	g1, _ := PackStats()
-	tg1, _, _ := PoolStats()
-	if g1 <= g0 {
+	d := PoolStatsSnapshot().Sub(s0)
+	if d.PackGets == 0 {
 		t.Fatal("packed MatMul did not request pack scratch")
 	}
-	if tg1-tg0 != 1 {
-		t.Fatalf("packed MatMul made %d tensor pool requests, want 1 (the output)", tg1-tg0)
+	if d.Gets != 1 {
+		t.Fatalf("packed MatMul made %d tensor pool requests, want 1 (the output)", d.Gets)
 	}
 }

@@ -1,6 +1,22 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"tbd/internal/prof"
+)
+
+// beginGemmSpan opens a profiler span for one GEMM entry point with its
+// FLOP count and operand/result traffic attached. Span names are package
+// constants so the disabled path never builds a string.
+func beginGemmSpan(name string, n, k, m int) prof.Span {
+	sp := prof.Begin(prof.CatKernel, name)
+	if sp.Active() {
+		sp.SetFLOPs(2 * float64(n) * float64(k) * float64(m))
+		sp.SetBytes(4 * (int64(n)*int64(k) + int64(k)*int64(m) + int64(n)*int64(m)))
+	}
+	return sp
+}
 
 // minGemmWork is the approximate number of multiply-adds one worker should
 // own before row-splitting a GEMM is worth the dispatch overhead.
@@ -44,8 +60,10 @@ func checkDst(dst *Tensor, n, m int, name string) {
 // overwrite mode, so the pooled buffer skips its zero-fill.
 func MatMul(a, b *Tensor) *Tensor {
 	n, k, m := checkMatMul(a, b, "MatMul", false, false)
+	sp := beginGemmSpan("gemm", n, k, m)
 	out := acquireDirty(n, m)
 	gemmParallel(out.data, a.data, b.data, n, k, m, layPlain, false, nil)
+	sp.End()
 	return out
 }
 
@@ -65,8 +83,10 @@ func MatMulBiasAct(a, b, bias *Tensor, act ActKind) *Tensor {
 	} else if act != ActNone {
 		ep = &epilogue{act: act}
 	}
+	sp := beginGemmSpan("gemm.bias_act", n, k, m)
 	out := acquireDirty(n, m)
 	gemmParallel(out.data, a.data, b.data, n, k, m, layPlain, false, ep)
+	sp.End()
 	return out
 }
 
@@ -74,7 +94,9 @@ func MatMulBiasAct(a, b, bias *Tensor, act ActKind) *Tensor {
 func MatMulInto(dst, a, b *Tensor) *Tensor {
 	n, k, m := checkMatMul(a, b, "MatMulInto", false, false)
 	checkDst(dst, n, m, "MatMulInto")
+	sp := beginGemmSpan("gemm", n, k, m)
 	gemmParallel(dst.data, a.data, b.data, n, k, m, layPlain, false, nil)
+	sp.End()
 	return dst
 }
 
@@ -82,8 +104,10 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 // without materializing the transpose. Used for weight gradients.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	n, k, m := checkMatMul(a, b, "MatMulTransA", true, false)
+	sp := beginGemmSpan("gemm.dW", n, k, m)
 	out := acquireDirty(n, m)
 	gemmParallel(out.data, a.data, b.data, n, k, m, layTransA, false, nil)
+	sp.End()
 	return out
 }
 
@@ -92,7 +116,9 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
 	n, k, m := checkMatMul(a, b, "MatMulTransAInto", true, false)
 	checkDst(dst, n, m, "MatMulTransAInto")
+	sp := beginGemmSpan("gemm.dW", n, k, m)
 	gemmParallel(dst.data, a.data, b.data, n, k, m, layTransA, false, nil)
+	sp.End()
 	return dst
 }
 
@@ -100,8 +126,10 @@ func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
 // without materializing the transpose. Used for input gradients.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	n, k, m := checkMatMul(a, b, "MatMulTransB", false, true)
+	sp := beginGemmSpan("gemm.dX", n, k, m)
 	out := acquireDirty(n, m)
 	gemmParallel(out.data, a.data, b.data, n, k, m, layTransB, false, nil)
+	sp.End()
 	return out
 }
 
@@ -110,7 +138,9 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
 	n, k, m := checkMatMul(a, b, "MatMulTransBInto", false, true)
 	checkDst(dst, n, m, "MatMulTransBInto")
+	sp := beginGemmSpan("gemm.dX", n, k, m)
 	gemmParallel(dst.data, a.data, b.data, n, k, m, layTransB, false, nil)
+	sp.End()
 	return dst
 }
 
@@ -159,15 +189,22 @@ func BatchMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: BatchMatMul mismatch %v @ %v", a.shape, b.shape))
 	}
 	m := b.shape[2]
+	sp := prof.Begin(prof.CatKernel, "gemm.batch")
+	if sp.Active() {
+		sp.SetFLOPs(2 * float64(bb) * float64(n) * float64(k) * float64(m))
+		sp.SetBytes(4 * int64(bb) * (int64(n)*int64(k) + int64(k)*int64(m) + int64(n)*int64(m)))
+	}
 	out := acquireDirty(bb, n, m)
 	minBatches := 1 + gemmMinRows(k, m)/max(n, 1)
 	if rowWorkers(bb, minBatches) <= 1 {
 		batchMatMulRange(out.data, a.data, b.data, n, k, m, 0, bb)
+		sp.End()
 		return out
 	}
 	parallelRows(bb, minBatches, func(lo, hi int) {
 		batchMatMulRange(out.data, a.data, b.data, n, k, m, lo, hi)
 	})
+	sp.End()
 	return out
 }
 

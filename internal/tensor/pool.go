@@ -5,7 +5,18 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"tbd/internal/prof"
 )
+
+// The live profiler attributes pool churn to spans; installing the
+// counter source at init keeps prof free of a tensor dependency (tensor
+// imports prof for kernel spans, not the other way around).
+func init() {
+	prof.SetPoolCounterSource(func() (gets, hits uint64) {
+		return defaultPool.gets.Load(), defaultPool.hits.Load()
+	})
+}
 
 // A Pool is a size-bucketed free list of tensor buffers. Training loops
 // allocate the same tensor shapes every iteration (activations, gradient
@@ -236,6 +247,61 @@ func SetDebugPoisonReleased(on bool) bool {
 // the free list, and buffers accepted back by Release.
 func PoolStats() (gets, hits, puts uint64) {
 	return defaultPool.gets.Load(), defaultPool.hits.Load(), defaultPool.puts.Load()
+}
+
+// PoolCounters is a point-in-time copy of the shared pool's cumulative
+// counters. Readers that compare two moments (benchmarks, profiler spans)
+// should take snapshots and Sub them instead of re-reading the live
+// package-level counters, which keep advancing under concurrent traffic
+// and would tear a multi-counter read.
+type PoolCounters struct {
+	Gets, Hits, Puts   uint64
+	PackGets, PackHits uint64
+}
+
+// PoolStatsSnapshot returns a copy of all pool counters (tensor buckets
+// and pack-scratch buckets) at one moment.
+func PoolStatsSnapshot() PoolCounters {
+	return PoolCounters{
+		Gets:     defaultPool.gets.Load(),
+		Hits:     defaultPool.hits.Load(),
+		Puts:     defaultPool.puts.Load(),
+		PackGets: defaultPool.packGets.Load(),
+		PackHits: defaultPool.packHits.Load(),
+	}
+}
+
+// Sub returns the counter deltas accumulated since prev.
+func (c PoolCounters) Sub(prev PoolCounters) PoolCounters {
+	return PoolCounters{
+		Gets:     c.Gets - prev.Gets,
+		Hits:     c.Hits - prev.Hits,
+		Puts:     c.Puts - prev.Puts,
+		PackGets: c.PackGets - prev.PackGets,
+		PackHits: c.PackHits - prev.PackHits,
+	}
+}
+
+// PoolRetainedBytes reports the bytes currently parked on the shared
+// pool's free lists: recycled tensor buffers and GEMM pack scratch. The
+// pack number is the live engine's "workspace" arena in the paper's
+// five-category memory breakdown — scratch that exists only to make
+// kernels faster — and the profiler samples it for the memory watermark.
+func PoolRetainedBytes() (tensorBytes, packBytes int64) {
+	p := &defaultPool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, bucket := range p.buckets {
+		for _, t := range bucket {
+			tensorBytes += int64(cap(t.data)) * 4
+		}
+	}
+	for _, bucket := range p.packBuckets {
+		for _, buf := range bucket {
+			packBytes += int64(cap(buf)) * 4
+		}
+	}
+	return tensorBytes, packBytes
 }
 
 // PackStats reports cumulative pack-scratch requests and the number served

@@ -63,3 +63,45 @@ func TestDebugPoisonReleased(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolStatsSnapshotDelta verifies the snapshot/Sub pair tracks pool
+// activity without the caller touching the live package counters.
+func TestPoolStatsSnapshotDelta(t *testing.T) {
+	before := PoolStatsSnapshot()
+	a := Acquire(64)
+	a.Release()
+	b := Acquire(64) // served from the free list
+	b.Release()
+	d := PoolStatsSnapshot().Sub(before)
+	if d.Gets < 2 {
+		t.Fatalf("gets delta = %d, want >= 2", d.Gets)
+	}
+	if d.Hits < 1 {
+		t.Fatalf("hits delta = %d, want >= 1", d.Hits)
+	}
+	if d.Puts < 2 {
+		t.Fatalf("puts delta = %d, want >= 2", d.Puts)
+	}
+	// Tensor traffic must not move the pack counters.
+	if d.PackGets != 0 || d.PackHits != 0 {
+		t.Fatalf("pack deltas = %d/%d from tensor traffic", d.PackGets, d.PackHits)
+	}
+}
+
+// TestPoolRetainedBytes checks the free-list byte accounting both ways
+// across a release/reacquire cycle.
+func TestPoolRetainedBytes(t *testing.T) {
+	a := Acquire(1 << 10)
+	t0, _ := PoolRetainedBytes()
+	a.Release()
+	t1, _ := PoolRetainedBytes()
+	if t1 < t0+4<<10 {
+		t.Fatalf("retained bytes after release: %d -> %d, want +%d", t0, t1, 4<<10)
+	}
+	b := Acquire(1 << 10)
+	defer b.Release()
+	t2, _ := PoolRetainedBytes()
+	if t2 >= t1 {
+		t.Fatalf("retained bytes after reacquire: %d -> %d, want a drop", t1, t2)
+	}
+}

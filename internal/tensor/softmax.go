@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"tbd/internal/prof"
 )
 
 // SoftmaxRows computes a numerically stable softmax over the last axis,
@@ -96,6 +98,10 @@ func CrossEntropy(logits *Tensor, labels []int) (loss float32, grad *Tensor) {
 		panic(fmt.Sprintf("tensor: CrossEntropy got %d labels for batch %d", len(labels), n))
 	}
 	f := logits.Numel() / n
+	sp := prof.Begin(prof.CatKernel, "loss.xent")
+	if sp.Active() {
+		sp.SetBytes(4 * 2 * int64(logits.Numel()))
+	}
 	grad = SoftmaxRows(logits)
 	var total float64
 	for i, y := range labels {
@@ -110,6 +116,7 @@ func CrossEntropy(logits *Tensor, labels []int) (loss float32, grad *Tensor) {
 		grad.data[i*f+y] -= 1
 	}
 	grad.ScaleInPlace(1 / float32(n))
+	sp.End()
 	return float32(total / float64(n)), grad
 }
 

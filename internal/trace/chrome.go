@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"tbd/internal/prof"
+)
+
+// ChromeWriter accumulates Chrome trace-event ("catapult") complete
+// events and renders the single-object JSON that chrome://tracing and
+// Perfetto load. It is the one exporter behind every timeline the repo
+// produces — simulated kernel streams (Timeline.WriteChromeTrace),
+// serving batch windows, and live training profiles (WriteProfChrome) —
+// so captures from all three open side by side in the same viewer.
+type ChromeWriter struct {
+	events []chromeEvent
+}
+
+// chromeEvent is one trace_event record. Field order is part of the
+// golden-file contract in chrome_test.go.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// Complete appends one complete ("ph":"X") event. Times are in seconds;
+// the writer converts to the format's microseconds.
+func (cw *ChromeWriter) Complete(name, cat string, startSec, durSec float64, pid, tid int) {
+	cw.events = append(cw.events, chromeEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS: startSec * 1e6, Dur: durSec * 1e6,
+		PID: pid, TID: tid,
+	})
+}
+
+// Len reports the number of buffered events.
+func (cw *ChromeWriter) Len() int { return len(cw.events) }
+
+// Write renders {"traceEvents": [...]} to w. An empty writer emits an
+// empty array, not null — viewers reject the latter.
+func (cw *ChromeWriter) Write(w io.Writer) error {
+	events := cw.events
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// WriteProfChrome renders live-profiler span records (a real training or
+// serving run captured by internal/prof) as a Chrome trace. Spans from
+// one goroutine nest by time containment exactly as the viewer expects;
+// concurrent trainers interleave on the single track.
+func WriteProfChrome(w io.Writer, recs []prof.Record) error {
+	var cw ChromeWriter
+	for _, r := range recs {
+		cw.Complete(r.Name, r.Cat.String(), r.Start.Seconds(), r.Dur.Seconds(), 0, 0)
+	}
+	return cw.Write(w)
+}

@@ -136,32 +136,14 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 // WriteChromeTrace renders the timeline in the Chrome trace-event format
 // (catapult JSON), loadable in chrome://tracing or Perfetto — the closest
 // open equivalent of opening an .nvvp file in the NVIDIA Visual Profiler.
+// It shares ChromeWriter with the serving batcher and the live training
+// profiler, so simulated and real timelines open in the same viewer.
 func (t *Timeline) WriteChromeTrace(w io.Writer) error {
-	type event struct {
-		Name string  `json:"name"`
-		Cat  string  `json:"cat"`
-		Ph   string  `json:"ph"`
-		TS   float64 `json:"ts"`  // microseconds
-		Dur  float64 `json:"dur"` // microseconds
-		PID  int     `json:"pid"`
-		TID  int     `json:"tid"`
+	var cw ChromeWriter
+	for _, e := range t.Events {
+		cw.Complete(e.Name, e.Class.String(), e.StartSec, e.DurSec, 0, 0)
 	}
-	events := make([]event, len(t.Events))
-	for i, e := range t.Events {
-		events[i] = event{
-			Name: e.Name,
-			Cat:  e.Class.String(),
-			Ph:   "X",
-			TS:   e.StartSec * 1e6,
-			Dur:  e.DurSec * 1e6,
-			PID:  0,
-			TID:  0,
-		}
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(struct {
-		TraceEvents []event `json:"traceEvents"`
-	}{events})
+	return cw.Write(w)
 }
 
 // WriteJSON renders the timeline as a JSON array.
