@@ -1,16 +1,22 @@
 GO ?= go
 
-.PHONY: all check build vet test race serve-race prof-race bench bench-serve bench-prof bench-all bench-compare cover reproduce observations examples clean
+.PHONY: all check build vet lint test race serve-race prof-race bench bench-serve bench-prof bench-all bench-compare cover reproduce observations examples clean
 
 all: check
 
-check: build vet test race serve-race prof-race
+check: build vet lint test race serve-race prof-race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (see internal/analysis): pool lifetimes,
+# profiler span balance, kernel determinism, lock annotations, and
+# discarded errors. The tree must stay at zero findings.
+lint:
+	$(GO) run ./cmd/tbdvet ./...
 
 test:
 	$(GO) test ./...
@@ -25,9 +31,10 @@ serve-race:
 	$(GO) test -race ./internal/serve/... ./internal/data/...
 
 # Race detector over the live profiler (atomic gate, collector, pool
-# counter source) and the trace writer it feeds.
+# counter source), the trace writer it feeds, and the histogram
+# shard-merge pattern the serving stats rely on.
 prof-race:
-	$(GO) test -race ./internal/prof/... ./internal/trace/... ./internal/memprof/...
+	$(GO) test -race ./internal/prof/... ./internal/trace/... ./internal/memprof/... ./internal/metrics/...
 
 # Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
 # machine-readable for regression tracking.

@@ -397,7 +397,7 @@ func printTwinProfile(topK int, asJSON bool, traceOut string) error {
 			return err
 		}
 		if err := trace.WriteProfChrome(f, prof.Records()); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is the one worth reporting
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -67,7 +67,9 @@ func cmdServe(args []string) error {
 	seed := fs.Uint64("seed", 42, "weight init seed")
 	traceOut := fs.String("trace", "", "write per-batch Chrome trace JSON to this `file` on shutdown")
 	profile := fs.Bool("profile", false, "enable the live profiler; snapshot at GET /debug/prof, summary on shutdown")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *parallel > 0 {
 		tensor.SetParallelism(*parallel)
@@ -156,7 +158,9 @@ func cmdLoadgen(args []string) error {
 	url := fs.String("url", "http://localhost:8093", "daemon base URL")
 	concurrency := fs.Int("concurrency", 32, "closed-loop workers")
 	duration := fs.Duration("duration", 10*time.Second, "run length")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// Learn the sample shape from the daemon.
 	resp, err := http.Get(*url + "/healthz")
@@ -167,10 +171,12 @@ func cmdLoadgen(args []string) error {
 		SampleShape []int `json:"sample_shape"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
-		resp.Body.Close()
+		_ = resp.Body.Close() // the decode error is the one worth reporting
 		return err
 	}
-	resp.Body.Close()
+	if err := resp.Body.Close(); err != nil {
+		return err
+	}
 	n := 1
 	for _, d := range health.SampleShape {
 		n *= d
@@ -198,8 +204,15 @@ func cmdLoadgen(args []string) error {
 		if err != nil {
 			return err
 		}
-		io.Copy(io.Discard, r.Body)
-		r.Body.Close()
+		// Drain and close so the connection is reusable; either failure
+		// counts as a request error in the loadgen tally.
+		_, cpErr := io.Copy(io.Discard, r.Body)
+		if err := r.Body.Close(); err != nil {
+			return err
+		}
+		if cpErr != nil {
+			return cpErr
+		}
 		if r.StatusCode != http.StatusOK {
 			return fmt.Errorf("status %d", r.StatusCode)
 		}

@@ -1,0 +1,244 @@
+// Package analysis is tbd's custom lint driver: five repo-specific
+// analyzers, built on nothing but the standard library's go/parser,
+// go/ast, and go/types, that enforce the engine invariants the Go
+// compiler cannot see. Each analyzer guards a bug class this codebase
+// has already paid to find once:
+//
+//   - poolcheck: every tensor.Pool acquisition must be released,
+//     returned, or stashed under the documented one-step lifetime
+//     contract (the PR-1 wide-kernel review bug class).
+//   - spancheck: every prof span Begin must reach End in the same
+//     function, so the profiler's phase accounting stays balanced.
+//   - determinism: kernel hot paths (internal/tensor, internal/kernels,
+//     internal/optim) must stay bit-identical across parallelism levels
+//     — no map iteration, wall clocks, or math/rand.
+//   - lockcheck: struct fields annotated "guarded by <mu>" may only be
+//     touched by functions that lock that mutex (flow-insensitive).
+//   - errcheck-lite: no silently discarded error returns in cmd/ and
+//     internal/serve.
+//
+// Deliberate exceptions are annotated in source with //tbd: escape
+// comments (see the per-analyzer docs); the driver enforces that the
+// determinism escape carries a justification string.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for file:line:col display and
+// machine-readable export.
+type Diagnostic struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named check over a typechecked package.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line invariant statement shown by tbdvet -list.
+	Doc string
+	Run func(*Pass)
+}
+
+// All is the full analyzer suite in reporting order.
+var All = []*Analyzer{Poolcheck, Spancheck, Determinism, Lockcheck, ErrcheckLite}
+
+// Pass carries one (analyzer, package) run and collects its findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the given analyzers over the packages and returns the
+// findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// escapeRe matches a //tbd: escape comment and captures (tag, argument).
+var escapeRe = regexp.MustCompile(`//\s*tbd:([a-z-]+)\s*(.*)`)
+
+// Escape looks for a //tbd:<tag> comment attached to pos: on the same
+// source line or the line immediately above. It returns the text after
+// the tag (the justification, possibly empty) and whether the escape was
+// found.
+func (p *Pass) Escape(pos token.Pos, tag string) (arg string, ok bool) {
+	position := p.Pkg.Fset.Position(pos)
+	lines := p.Pkg.escapeLines(position.Filename)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if e, found := lines[line]; found && e.tag == tag {
+			return e.arg, true
+		}
+	}
+	return "", false
+}
+
+// FuncEscape reports whether fn's doc comment carries //tbd:<tag>.
+func FuncEscape(fn *ast.FuncDecl, tag string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if m := escapeRe.FindStringSubmatch(c.Text); m != nil && m[1] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+type escapeComment struct {
+	tag string
+	arg string
+}
+
+// escapeLines lazily indexes a file's //tbd: comments by line number.
+func (pkg *Package) escapeLines(filename string) map[int]escapeComment {
+	if pkg.escapes == nil {
+		pkg.escapes = make(map[string]map[int]escapeComment)
+	}
+	if m, ok := pkg.escapes[filename]; ok {
+		return m
+	}
+	m := make(map[int]escapeComment)
+	for _, f := range pkg.Files {
+		if pkg.Fset.Position(f.Pos()).Filename != filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if match := escapeRe.FindStringSubmatch(c.Text); match != nil {
+					line := pkg.Fset.Position(c.Pos()).Line
+					m[line] = escapeComment{tag: match[1], arg: strings.TrimSpace(match[2])}
+				}
+			}
+		}
+	}
+	pkg.escapes[filename] = m
+	return m
+}
+
+// calleeName returns the fully qualified name of the function or method
+// called by call: "path/to/pkg.Func" for package functions and
+// "path/to/pkg.Type.Method" for methods (pointer receivers unwrapped).
+// It returns "" for builtins, conversions, and calls of function values.
+func (p *Pass) calleeName(call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return ""
+	}
+	return qualifiedFuncName(fn)
+}
+
+func qualifiedFuncName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// objectOf resolves an identifier to its object (definition or use).
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// mentions reports whether expr references the variable v anywhere.
+func (p *Pass) mentions(n ast.Node, v types.Object) bool {
+	if n == nil || v == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.objectOf(id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcBodies yields every function body in the package — declarations
+// and function literals — paired with the enclosing declaration (nil Doc
+// handling is the caller's concern for literals).
+func (p *Pass) funcBodies(visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			visit(fd, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					visit(fd, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckLite flags silently discarded error returns in the packages
+// where a dropped error reaches users: the command-line entry points
+// (cmd/...) and the serving subsystem (internal/serve). A call whose
+// final result is an error, used as a bare statement, is a finding.
+//
+// Deliberate discards are written `_ = f()` — the standard, visible
+// idiom — so no //tbd: escape exists for this analyzer. Two classes are
+// exempt to keep the check high-signal ("lite"):
+//
+//   - the fmt print family (terminal writes; errors are conventionally
+//     ignored), and strings.Builder / bytes.Buffer writes (documented
+//     never to fail);
+//   - deferred calls (`defer f.Close()` on read paths is idiomatic; the
+//     write paths in this repo check Close explicitly).
+var ErrcheckLite = &Analyzer{
+	Name: "errcheck-lite",
+	Doc:  "no silently discarded error returns in cmd/ and internal/serve",
+	Run:  runErrcheckLite,
+}
+
+// errcheckPrefixes scope the analyzer.
+var errcheckPrefixes = []string{
+	"tbd/cmd",
+	"tbd/internal/serve",
+}
+
+func inErrcheckScope(pkgPath string) bool {
+	for _, prefix := range errcheckPrefixes {
+		if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runErrcheckLite(p *Pass) {
+	if !inErrcheckScope(p.Pkg.Path) {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := p.calleeName(call)
+			if strings.HasPrefix(callee, "fmt.") ||
+				strings.HasPrefix(callee, "strings.Builder.") ||
+				strings.HasPrefix(callee, "bytes.Buffer.") {
+				return true
+			}
+			t := p.Pkg.Info.TypeOf(call)
+			if t == nil {
+				return true
+			}
+			last := t
+			if tuple, isTuple := t.(*types.Tuple); isTuple {
+				if tuple.Len() == 0 {
+					return true
+				}
+				last = tuple.At(tuple.Len() - 1).Type()
+			}
+			if !types.Identical(last, errType) {
+				return true
+			}
+			display := callee
+			if display == "" {
+				display = types.ExprString(call.Fun)
+			}
+			p.Reportf(call.Pos(), "error returned by %s is silently discarded (handle it or assign to _)", shortName(display))
+			return true
+		})
+	}
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	escapes map[string]map[int]escapeComment
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Loader typechecks module packages using only the standard library:
+// `go list -export` resolves imports and produces compiler export data,
+// and go/importer's gc importer consumes it. Syntax and full type
+// information are built per analyzed package with go/parser + go/types;
+// dependencies (standard library included) are imported from export
+// data, so no third-party loader is needed.
+type Loader struct {
+	// ModRoot is the module root directory (where go.mod lives).
+	ModRoot string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{ModRoot: root, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l, nil
+}
+
+// findModRoot walks up from dir until it finds go.mod.
+func findModRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load resolves the package patterns (e.g. "./...") and returns the
+// matched module packages, parsed with comments and fully typechecked.
+// Test files are not loaded; the analyzers enforce invariants on the
+// shipped code.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	entries, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly {
+			continue
+		}
+		pkg, err := l.check(e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadDir parses and typechecks a single directory of Go files outside
+// the module build graph (analyzer test fixtures under testdata) under
+// the given synthetic import path. deps lists the module packages the
+// fixture files import; their export data — and the standard library's —
+// is resolved first.
+func (l *Loader) LoadDir(dir, importPath string, deps ...string) (*Package, error) {
+	if len(deps) > 0 {
+		if _, err := l.list(deps); err != nil {
+			return nil, err
+		}
+	}
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(importPath, dir, names)
+}
+
+// list runs `go list -e -deps -export` over the patterns, records every
+// export data file it produced, and returns the entries.
+func (l *Loader) list(patterns []string) ([]listEntry, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.ModRoot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// check parses the named files and typechecks them as one package.
+func (l *Loader) check(importPath, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typechecking %s: %v", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// goFilesIn lists the non-test .go files of dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Lockcheck ties struct fields to the mutex that guards them. A field
+// whose declaration carries a "guarded by <mu>" comment (doc comment or
+// trailing line comment), where <mu> names a sibling field, may only be
+// read or written inside functions that lock that mutex:
+//
+//	type Service struct {
+//		traceMu     sync.Mutex
+//		traceEvents []sim.Event // guarded by traceMu
+//	}
+//
+// The check is flow-insensitive and per-function: a function (or any
+// function literal it contains) that touches a guarded field must also
+// contain a <mu>.Lock() or <mu>.RLock() call, or carry a
+// //tbd:locked-by-caller annotation in its doc comment documenting that
+// its callers hold the lock. Matching is by types.Object, so anonymous
+// structs (package-level collector vars) and named types are handled
+// alike.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "fields annotated \"guarded by <mu>\" are only touched under that mutex",
+	Run:  runLockcheck,
+}
+
+var guardedByRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+func runLockcheck(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(p, fd, guards)
+		}
+	}
+}
+
+// collectGuards maps each annotated field object to the mutex field
+// object guarding it, by scanning every struct type in the package.
+func collectGuards(p *Pass) map[types.Object]types.Object {
+	guards := map[types.Object]types.Object{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			// Index sibling fields by name for mutex lookup.
+			byName := map[string]*ast.Ident{}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					byName[name.Name] = name
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				muIdent, found := byName[mu]
+				if !found {
+					p.Reportf(fld.Pos(), "guarded by %s: no field named %s in this struct", mu, mu)
+					continue
+				}
+				muObj := p.Pkg.Info.Defs[muIdent]
+				for _, name := range fld.Names {
+					if obj := p.Pkg.Info.Defs[name]; obj != nil && muObj != nil {
+						guards[obj] = muObj
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's comments.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses verifies every guarded-field access in fd happens
+// in a function that locks the guarding mutex.
+func checkGuardedAccesses(p *Pass, fd *ast.FuncDecl, guards map[types.Object]types.Object) {
+	if FuncEscape(fd, "locked-by-caller") {
+		return
+	}
+	// Pass 1: which mutexes does this function lock (anywhere, including
+	// deferred calls and closures — flow-insensitive)?
+	locked := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if obj := p.Pkg.Info.Uses[muSel.Sel]; obj != nil {
+				locked[obj] = true
+			}
+		}
+		return true
+	})
+	// Pass 2: flag guarded accesses without the lock.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.Uses[sel.Sel]
+		mu, guarded := guards[obj]
+		if !guarded || locked[mu] {
+			return true
+		}
+		if _, ok := p.Escape(sel.Pos(), "locked-by-caller"); ok {
+			return true
+		}
+		p.Reportf(sel.Sel.Pos(), "%s is guarded by %s but %s does not lock it (annotate the function //tbd:locked-by-caller if its callers hold the lock)",
+			sel.Sel.Name, mu.Name(), funcDisplayName(fd))
+		return true
+	})
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		return types.ExprString(fd.Recv.List[0].Type) + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

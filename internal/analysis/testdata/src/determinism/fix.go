@@ -1,0 +1,45 @@
+// Package tensorfix exercises determinism. The driver loads it under the
+// synthetic import path tbd/internal/tensor/fix so it counts as a kernel
+// hot path.
+package tensorfix
+
+import (
+	"math/rand" // want "import of math/rand in kernel hot path"
+	"time"
+)
+
+var _ = rand.Int
+
+// sum iterates a map: the order is randomized per run.
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration .nondeterministic order. in kernel hot path"
+		s += v
+	}
+	return s
+}
+
+// timed reads the wall clock.
+func timed() int64 {
+	return time.Now().UnixNano() // want "wall-clock read .time.Now. in kernel hot path"
+}
+
+// justified carries a justified escape: clean.
+func justified(m map[string]int) int {
+	n := 0
+	//tbd:nondeterministic-ok order-independent count over map values
+	for range m {
+		n++
+	}
+	return n
+}
+
+// unjustified carries the escape tag without a reason.
+func unjustified(m map[int]int) int {
+	n := 0
+	//tbd:nondeterministic-ok
+	for range m { // want "nondeterministic-ok requires a justification string"
+		n++
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package cmdfix exercises errcheck-lite. The driver loads it under the
+// synthetic import path tbd/cmd/fix so it falls in the analyzer's scope.
+package cmdfix
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+// bad drops the error on the floor.
+func bad() {
+	work() // want "error returned by fix.work is silently discarded"
+}
+
+// badTuple drops the error of a multi-result call.
+func badTuple(name string) {
+	os.Create(name) // want "error returned by os.Create is silently discarded"
+}
+
+// good checks or visibly discards: clean.
+func good() error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work()
+	return nil
+}
+
+// exempt covers the documented never-fail writers: clean.
+func exempt() string {
+	fmt.Println("ok")
+	var sb strings.Builder
+	sb.WriteString("x")
+	return sb.String()
+}
+
+// deferred Close on a read path is idiomatic: clean.
+func deferred(f *os.File) {
+	defer f.Close()
+}

@@ -1,0 +1,70 @@
+// Package lockfix exercises lockcheck: "guarded by" field annotations on
+// named and anonymous structs.
+package lockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// inc locks: clean.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// bad reads the guarded field without the lock.
+func (c *counter) bad() int {
+	return c.n // want "n is guarded by mu but .counter.bad does not lock it"
+}
+
+// lockedByCaller documents that its callers hold mu: clean.
+//
+//tbd:locked-by-caller
+func (c *counter) lockedByCaller() int {
+	return c.n
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	v  float64 // Guarded by mu.
+}
+
+// read uses RLock, which counts: clean.
+func (g *gauge) read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+type badGuard struct {
+	n int // guarded by nonesuch -- want "no field named nonesuch in this struct"
+}
+
+func (b *badGuard) get() int { return b.n }
+
+// state mirrors the prof collector: a package-level anonymous struct.
+var state struct {
+	mu   sync.Mutex
+	hits int // guarded by mu
+}
+
+// bump locks: clean.
+func bump() {
+	state.mu.Lock()
+	state.hits++
+	state.mu.Unlock()
+}
+
+// peek reads without the lock.
+func peek() int {
+	return state.hits // want "hits is guarded by mu but peek does not lock it"
+}
+
+// peekLocked suppresses with a line-level escape: clean.
+func peekLocked() int {
+	return state.hits //tbd:locked-by-caller bump's callers hold mu
+}

@@ -1,0 +1,86 @@
+// Package poolfix exercises poolcheck: pooled-buffer lifetimes that
+// violate (and satisfy) the engine's one-step ownership contract.
+package poolfix
+
+import "tbd/internal/tensor"
+
+type layer struct {
+	out *tensor.Tensor
+}
+
+func use(t *tensor.Tensor) {}
+
+// releasedOnEveryPath is clean: a deferred release covers every exit.
+func releasedOnEveryPath(n int) {
+	t := tensor.Acquire(n)
+	defer t.Release()
+	use(t)
+}
+
+// returned transfers ownership to the caller: clean.
+func returned(n int) *tensor.Tensor {
+	t := tensor.AcquireDirty(n)
+	return t
+}
+
+// leakOnReturn forgets the buffer on the early-return path.
+func leakOnReturn(cond bool) {
+	t := tensor.Acquire(4) // want "pooled buffer t leaks on the return path at line"
+	if cond {
+		return
+	}
+	t.Release()
+}
+
+// fromPool leaks a buffer taken from an explicit pool.
+func fromPool(p *tensor.Pool, cond bool) {
+	t := p.Get(3) // want "pooled buffer t leaks on the return path at line"
+	if cond {
+		return
+	}
+	t.Release()
+}
+
+// doubleRelease frees the same buffer twice on one path.
+func doubleRelease() {
+	t := tensor.Acquire(8)
+	t.Release()
+	t.Release() // want "double release of pooled buffer t"
+}
+
+// discarded drops the result outright: nothing can ever release it.
+func discarded() {
+	tensor.Acquire(2) // want "result of tensor.Acquire is discarded"
+}
+
+// overwritten rebinds the name while the first buffer is still live.
+func overwritten(n int) {
+	t := tensor.Acquire(n) // want "pooled buffer t is overwritten before being released"
+	t = tensor.Acquire(n + 1)
+	t.Release()
+}
+
+// stashBad stores into a field without recycling the previous occupant.
+func (l *layer) stashBad() {
+	l.out = tensor.Acquire(4) // want "pooled buffer stashed into l.out without releasing the previous one"
+}
+
+// stashGood follows the recycle idiom: release the old, stash the new.
+func (l *layer) stashGood(n int) {
+	l.out.Release()
+	l.out = tensor.Acquire(n)
+}
+
+// stashRetained documents deliberate retention with the escape comment.
+func (l *layer) stashRetained() {
+	l.out = tensor.Acquire(4) //tbd:retain released by the layer's Close
+}
+
+// retained suppresses the leak report with a line-level escape.
+func retained(cond bool) {
+	t := tensor.Acquire(4) //tbd:retain the global registry frees it in teardown
+	if cond {
+		return
+	}
+	t.Release()
+}

@@ -1,0 +1,43 @@
+// Package spanfix exercises spancheck: profiler spans that are (and are
+// not) balanced by a matching End in the same function.
+package spanfix
+
+import "tbd/internal/prof"
+
+// deferred is the standard idiom: clean.
+func deferred() {
+	sp := prof.Begin(prof.CatKernel, "k")
+	defer sp.End()
+}
+
+// sequential reuses the variable after closing each phase: clean.
+func sequential() {
+	sp := prof.Begin(prof.CatPhase, "a")
+	sp.End()
+	sp = prof.Begin(prof.CatPhase, "b")
+	sp.End()
+}
+
+// reassigned overwrites an open span: the first phase silently vanishes.
+func reassigned() {
+	sp := prof.Begin(prof.CatPhase, "a")
+	sp = prof.Begin(prof.CatPhase, "b") // want "span sp reassigned while the span begun at line"
+	sp.End()
+}
+
+// discarded drops the span: it can never be closed.
+func discarded() {
+	prof.Begin(prof.CatKernel, "x") // want "result of prof.Begin is discarded"
+}
+
+// neverClosed opens a span and falls off the end of the function.
+func neverClosed() {
+	sp := prof.Begin(prof.CatKernel, "y") // want "span sp is never closed"
+	_ = sp
+}
+
+// escapes returns the span: the caller owns closing it.
+func escapes() prof.Span {
+	sp := prof.Begin(prof.CatKernel, "z")
+	return sp
+}

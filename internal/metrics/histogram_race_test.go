@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramShardedMergeConcurrent is the race-detector stress for the
+// documented concurrency contract: a Histogram is unsynchronized, so
+// concurrent writers each own a shard and the shards are merged after the
+// writers join. Run under -race this pins that the shard-then-merge
+// pattern is clean, and the count/sum/extrema assertions pin that Merge
+// loses nothing.
+func TestHistogramShardedMergeConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 20000
+
+	shards := make([]*Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = NewLatencyHistogram()
+		wg.Add(1)
+		go func(w int, h *Histogram) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Deterministic values spanning several decades of the
+				// log-spaced buckets, distinct per worker.
+				v := 1e-6 * math.Pow(1.001, float64(w*perWorker+i)/4)
+				h.Observe(v)
+			}
+		}(w, shards[w])
+	}
+	wg.Wait()
+
+	total := NewLatencyHistogram()
+	var wantSum float64
+	for _, s := range shards {
+		wantSum += s.Sum()
+		total.Merge(s)
+	}
+
+	if got, want := total.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	if math.Abs(total.Sum()-wantSum) > 1e-9*wantSum {
+		t.Fatalf("merged sum = %g, want %g", total.Sum(), wantSum)
+	}
+	wantMin := 1e-6 * math.Pow(1.001, 0)
+	if total.Min() != wantMin {
+		t.Fatalf("merged min = %g, want %g", total.Min(), wantMin)
+	}
+	wantMax := 1e-6 * math.Pow(1.001, float64(workers*perWorker-1)/4)
+	if total.Max() != wantMax {
+		t.Fatalf("merged max = %g, want %g", total.Max(), wantMax)
+	}
+	for _, p := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		q := total.Quantile(p)
+		if q < total.Min() || q > total.Max() {
+			t.Fatalf("quantile(%g) = %g outside observed [%g, %g]", p, q, total.Min(), total.Max())
+		}
+	}
+}
+
+// TestHistogramMutexSharingConcurrent hammers one shared histogram from
+// concurrent observers and readers through a mutex — the serve.Stats
+// usage pattern. The assertions are minimal; the point is that -race
+// stays silent when every access is serialized the way the Histogram doc
+// requires.
+func TestHistogramMutexSharingConcurrent(t *testing.T) {
+	const writers = 6
+	const readers = 2
+	const perWriter = 5000
+
+	var mu sync.Mutex
+	shared := NewLatencyHistogram()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := NewLatencyHistogram()
+			for i := 0; i < perWriter; i++ {
+				v := 1e-5 + 1e-8*float64(w*perWriter+i)
+				mu.Lock()
+				shared.Observe(v)
+				mu.Unlock()
+				local.Observe(v)
+				if i%1000 == 999 {
+					// Periodic shard merge into the shared histogram, the
+					// cross-service aggregation path.
+					mu.Lock()
+					shared.Merge(local)
+					mu.Unlock()
+					local = NewLatencyHistogram()
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				mu.Lock()
+				_ = shared.Quantile(0.95)
+				_ = shared.Mean()
+				_ = shared.Buckets()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every value was observed once directly and once via a merged shard.
+	if got, want := shared.Count(), uint64(2*writers*perWriter); got != want {
+		t.Fatalf("shared count = %d, want %d", got, want)
+	}
+}

@@ -147,6 +147,7 @@ func (o *Momentum) Step(params []*layers.Param) {
 // StateBytes reports the velocity buffers.
 func (o *Momentum) StateBytes() int64 {
 	var n int64
+	//tbd:nondeterministic-ok order-independent sum over state-map values; never touches numerics
 	for _, v := range o.velocity {
 		n += int64(len(v)) * 4
 	}
@@ -207,6 +208,7 @@ func (o *Adam) Step(params []*layers.Param) {
 // StateBytes reports the first- and second-moment buffers.
 func (o *Adam) StateBytes() int64 {
 	var n int64
+	//tbd:nondeterministic-ok order-independent sum over state-map values; never touches numerics
 	for _, m := range o.m {
 		n += int64(len(m)) * 8 // m and v
 	}
@@ -263,6 +265,7 @@ func (o *RMSProp) Step(params []*layers.Param) {
 // StateBytes reports the squared-gradient buffers.
 func (o *RMSProp) StateBytes() int64 {
 	var n int64
+	//tbd:nondeterministic-ok order-independent sum over state-map values; never touches numerics
 	for _, s := range o.sq {
 		n += int64(len(s)) * 4
 	}

@@ -114,14 +114,14 @@ type aggVal struct {
 // step the lock is far below the <3% enabled-overhead budget.
 var collector struct {
 	mu       sync.Mutex
-	epoch    time.Time
-	stopped  time.Time // zero while capturing
-	recs     []Record
-	maxRecs  int
-	dropped  uint64
-	agg      map[aggKey]*aggVal
-	mem      MemWatermark
-	memTotal int64 // running max of the summed sample
+	epoch    time.Time          // guarded by mu
+	stopped  time.Time          // zero while capturing; guarded by mu
+	recs     []Record           // guarded by mu
+	maxRecs  int                // guarded by mu
+	dropped  uint64             // guarded by mu
+	agg      map[aggKey]*aggVal // guarded by mu
+	mem      MemWatermark       // guarded by mu
+	memTotal int64              // running max of the summed sample; guarded by mu
 }
 
 // Enable starts a fresh capture: previous records, aggregates, and the

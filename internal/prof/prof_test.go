@@ -167,7 +167,7 @@ func TestMemWatermark(t *testing.T) {
 	}
 
 	// Disabled sampling is a no-op.
-	SampleMemory(1 << 40, 0, 0, 0, 0)
+	SampleMemory(1<<40, 0, 0, 0, 0)
 	if got := Watermark(); got.Weights != 10 {
 		t.Fatalf("disabled SampleMemory recorded: %+v", got)
 	}

@@ -98,8 +98,8 @@ type Service struct {
 	start time.Time
 
 	traceMu      sync.Mutex
-	traceEvents  []sim.Event
-	traceDropped uint64
+	traceEvents  []sim.Event // guarded by traceMu
+	traceDropped uint64      // guarded by traceMu
 }
 
 // New starts a service over the session. The caller must Close it to

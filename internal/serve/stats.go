@@ -14,16 +14,17 @@ import (
 type Stats struct {
 	mu sync.Mutex
 
-	accepted         uint64
-	rejectedOverload uint64
-	rejectedShutdown uint64
-	completed        uint64
-	failed           uint64
-	batches          uint64
+	// Request counters. Guarded by mu.
+	accepted         uint64 // guarded by mu
+	rejectedOverload uint64 // guarded by mu
+	rejectedShutdown uint64 // guarded by mu
+	completed        uint64 // guarded by mu
+	failed           uint64 // guarded by mu
+	batches          uint64 // guarded by mu
 
-	latency   *metrics.Histogram // request residence time, seconds
-	batchTime *metrics.Histogram // per-batch forward time, seconds
-	occupancy *metrics.Histogram // requests per flushed batch
+	latency   *metrics.Histogram // request residence time, seconds; guarded by mu
+	batchTime *metrics.Histogram // per-batch forward time, seconds; guarded by mu
+	occupancy *metrics.Histogram // requests per flushed batch; guarded by mu
 }
 
 func newStats(maxBatch int) *Stats {

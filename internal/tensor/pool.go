@@ -31,7 +31,7 @@ type Pool struct {
 	mu sync.Mutex
 	// buckets[k] holds free tensors whose backing capacity is in
 	// [2^k, 2^(k+1)), so any bucket entry satisfies a request with
-	// ceilBucket(n) == k.
+	// ceilBucket(n) == k. Guarded by mu.
 	buckets  [33][]*Tensor
 	disabled atomic.Bool
 
@@ -42,6 +42,7 @@ type Pool struct {
 	// per GEMM call, always fully overwritten) and their sizes rarely
 	// match tensor shapes; giving them their own size classes keeps them
 	// from evicting activation buffers out of the capped tensor buckets.
+	// Guarded by mu.
 	packBuckets        [33][][]float32
 	packGets, packHits atomic.Uint64
 }
