@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet lint test race serve-race prof-race bench bench-serve bench-prof bench-all bench-compare cover reproduce observations examples clean
+.PHONY: all check build vet lint test race tier-race serve-race prof-race bench bench-serve bench-prof bench-all bench-compare bench-gate cover reproduce observations examples clean
 
 all: check
 
-check: build vet lint test race serve-race prof-race
+check: build vet lint test race tier-race serve-race prof-race
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ test:
 # Race detector over the packages the worker pool and buffer arena touch.
 race:
 	$(GO) test -race ./internal/tensor/... ./internal/layers/... ./internal/graph/...
+
+# Race detector over the tensor package with the GEMM kernel tier pinned
+# to each extreme: the AVX2+FMA asm micro-kernels (widest path, fp16
+# packing) and the pure-Go reference tier. Catches races in the tier
+# dispatch itself and in the per-tier pack-buffer pooling.
+tier-race:
+	TBD_GEMM_KERNEL=avx2 $(GO) test -race ./internal/tensor/
+	TBD_GEMM_KERNEL=ref $(GO) test -race ./internal/tensor/
 
 # Race detector over the serving path (batcher, admission control, drain)
 # and the data pipeline's prefetch/shutdown machinery.
@@ -64,6 +72,15 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare
 	$(GO) run ./cmd/benchcompare -suite serve
 	$(GO) run ./cmd/benchcompare -suite prof
+
+# Noise-aware regression gate: re-run the tracked suites and exit nonzero
+# when any benchmark slows down (ns/op) or loses throughput by more than
+# the tolerance. The numeric kernels are stable enough for a tight gate;
+# the serving and profiler suites schedule goroutines and get more slack.
+bench-gate:
+	$(GO) run ./cmd/benchcompare -tol 0.20
+	$(GO) run ./cmd/benchcompare -suite serve -tol 0.40
+	$(GO) run ./cmd/benchcompare -suite prof -tol 0.40
 
 cover:
 	$(GO) test -cover ./...

@@ -319,6 +319,56 @@ func BenchmarkGEMM256(b *testing.B)       { benchGEMM(b, tensor.MatMul) }
 func BenchmarkGEMMTransA256(b *testing.B) { benchGEMM(b, tensor.MatMulTransA) }
 func BenchmarkGEMMTransB256(b *testing.B) { benchGEMM(b, tensor.MatMulTransB) }
 
+// BenchmarkGEMMTier sweeps every runnable GEMM micro-kernel tier over
+// square sizes, reporting per-tier GFLOP/s — the kernel-tier dispatch
+// acceptance numbers (ref is the bit-exact scalar baseline, sse the
+// 4x4 asm kernels, avx2 the 8x8 FMA kernels).
+func BenchmarkGEMMTier(b *testing.B) {
+	orig := tensor.GemmKernelTier()
+	defer tensor.SetGemmKernelTier(orig)
+	for _, tier := range tensor.GemmKernelTiers() {
+		for _, n := range []int{256, 512, 1024} {
+			b.Run(fmt.Sprintf("%s/%d", tier, n), func(b *testing.B) {
+				if _, err := tensor.SetGemmKernelTier(tier); err != nil {
+					b.Fatal(err)
+				}
+				rng := tensor.NewRNG(8)
+				a := tensor.RandNormal(rng, 0, 1, n, n)
+				c := tensor.RandNormal(rng, 0, 1, n, n)
+				fn := float64(n)
+				b.SetBytes(3 * int64(n) * int64(n) * 4)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.MatMul(a, c).Release()
+				}
+				b.ReportMetric(2*fn*fn*fn*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFLOP/s")
+			})
+		}
+	}
+}
+
+// BenchmarkGEMMHalf measures the fp16-storage / fp32-accumulate GEMM on
+// the active (widest) tier: the weight matrix lives as uint16 halves and
+// the B panels pack at half the workspace bytes.
+func BenchmarkGEMMHalf(b *testing.B) {
+	for _, n := range []int{256, 512, 1024} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			rng := tensor.NewRNG(8)
+			a := tensor.RandNormal(rng, 0, 1, n, n)
+			wh := tensor.NewHalfMatrix(tensor.RandNormal(rng, 0, 1, n, n))
+			fn := float64(n)
+			b.SetBytes(int64(n) * int64(n) * (4 + 2 + 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulHalfBiasAct(a, wh, nil, tensor.ActNone).Release()
+			}
+			b.ReportMetric(2*fn*fn*fn*float64(b.N)/1e9/b.Elapsed().Seconds(), "GFLOP/s")
+		})
+	}
+}
+
 func BenchmarkConvFwdBwd(b *testing.B) {
 	rng := tensor.NewRNG(9)
 	x := tensor.RandNormal(rng, 0, 1, 8, 8, 14, 14)

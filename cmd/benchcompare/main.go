@@ -16,6 +16,13 @@
 //	go run ./cmd/benchcompare [-suite numeric|serve|prof] [-benchtime 1s]
 //	go run ./cmd/benchcompare -old file.json -bench regexp   # explicit override
 //	go run ./cmd/benchcompare -new other.json                # compare two saved files
+//	go run ./cmd/benchcompare -tol 0.2                       # CI gate: exit 1 on regression
+//
+// With -tol the comparison becomes a noise-aware regression gate (see
+// `make bench-gate`): the run exits nonzero when any tracked benchmark's
+// ns/op worsens — or any throughput metric drops — by more than the given
+// fraction, or when a baseline benchmark disappeared from the fresh run.
+// Improvements and new benchmarks never fail the gate.
 package main
 
 import (
@@ -166,7 +173,12 @@ func main() {
 	newPath := flag.String("new", "", "compare this saved `file` instead of re-running benchmarks")
 	pattern := flag.String("bench", "", "benchmark `regexp` to run (default from -suite)")
 	benchtime := flag.String("benchtime", "1s", "benchtime for the fresh run")
+	tol := flag.Float64("tol", 0, "regression `fraction` the gate allows before failing; 0 disables the gate")
 	flag.Parse()
+	if *tol < 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: -tol must be >= 0")
+		os.Exit(1)
+	}
 
 	defaults, ok := suites[*suite]
 	if !ok {
@@ -202,6 +214,7 @@ func main() {
 	}
 	sort.Strings(names)
 
+	var failures []string
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	fmt.Fprintf(w, "%-44s %14s %14s %8s   %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "rates (old -> new)")
@@ -214,16 +227,58 @@ func main() {
 			continue
 		}
 		nsOld := o.metrics["ns/op"]
-		fmt.Fprintf(w, "%-44s %14s %14s %8s   %s\n",
-			name, fmtMetric(nsOld, "ns/op"), fmtMetric(nsNew, "ns/op"), delta(nsOld, nsNew), rateCols(o, n))
+		mark := ""
+		if *tol > 0 {
+			if bad := regressions(o, n, *tol); len(bad) > 0 {
+				mark = "   << REGRESSED"
+				failures = append(failures, fmt.Sprintf("%s: %s", name, strings.Join(bad, ", ")))
+			}
+		}
+		fmt.Fprintf(w, "%-44s %14s %14s %8s   %s%s\n",
+			name, fmtMetric(nsOld, "ns/op"), fmtMetric(nsNew, "ns/op"), delta(nsOld, nsNew), rateCols(o, n), mark)
 	}
 	// Baseline-only benchmarks (renamed or removed) are worth flagging —
-	// silent disappearance would otherwise read as "still tracked".
+	// silent disappearance would otherwise read as "still tracked", and
+	// under the gate it is a failure outright.
 	for name := range old {
 		if _, ok := cur[name]; !ok {
 			fmt.Fprintf(w, "%-44s %14s %14s %8s\n", name, fmtMetric(old[name].metrics["ns/op"], "ns/op"), "-", "gone")
+			if *tol > 0 {
+				failures = append(failures, name+": missing from the fresh run")
+			}
 		}
 	}
+	if *tol > 0 {
+		// The table must land before the verdict; the deferred Flush
+		// would come too late for the os.Exit path anyway.
+		_ = w.Flush()
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed beyond the %.0f%% tolerance:\n", len(failures), *tol*100)
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, " ", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchcompare: gate passed, all %d benchmarks within %.0f%% of baseline\n", len(names), *tol*100)
+	}
+}
+
+// regressions reports which of a benchmark's metrics moved the wrong way
+// by more than the tolerated fraction: ns/op up (slower), or any
+// throughput metric down. Improvements pass regardless of size.
+func regressions(o, n benchResult, tol float64) []string {
+	var bad []string
+	if ov, nv := o.metrics["ns/op"], n.metrics["ns/op"]; ov > 0 && nv > ov*(1+tol) {
+		bad = append(bad, fmt.Sprintf("ns/op %s", delta(ov, nv)))
+	}
+	for _, unit := range rateUnits {
+		ov, okOld := o.metrics[unit]
+		nv, okNew := n.metrics[unit]
+		if okOld && okNew && ov > 0 && nv < ov*(1-tol) {
+			bad = append(bad, fmt.Sprintf("%s %s", unit, delta(ov, nv)))
+		}
+	}
+	return bad
 }
 
 // rateCols renders throughput metrics plus the allocation count, old -> new.

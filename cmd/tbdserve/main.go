@@ -6,7 +6,7 @@
 //
 //	tbdserve [serve] [-model mlp] [-addr :8093] [-batch 64] [-wait 1ms]
 //	         [-queue 256] [-parallel N] [-seed 42] [-trace batches.json]
-//	         [-profile]
+//	         [-profile] [-fp16]
 //	tbdserve loadgen [-url http://localhost:8093] [-concurrency 32]
 //	         [-duration 10s]
 //
@@ -67,6 +67,7 @@ func cmdServe(args []string) error {
 	seed := fs.Uint64("seed", 42, "weight init seed")
 	traceOut := fs.String("trace", "", "write per-batch Chrome trace JSON to this `file` on shutdown")
 	profile := fs.Bool("profile", false, "enable the live profiler; snapshot at GET /debug/prof, summary on shutdown")
+	fp16 := fs.Bool("fp16", false, "freeze weights to fp16 storage (halves resident weight bytes; outputs shift within quantization error)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,11 +85,19 @@ func cmdServe(args []string) error {
 	if *profile {
 		prof.Enable()
 	}
+	sess := serve.NewSession(net, shape...)
+	if *fp16 {
+		before := sess.WeightBytes()
+		if !sess.FreezeHalfWeights() {
+			return fmt.Errorf("model %q does not support fp16 weight freezing", *model)
+		}
+		fmt.Printf("tbdserve: fp16 weights frozen, resident %d -> %d bytes\n", before, sess.WeightBytes())
+	}
 	traceCap := 0
 	if *traceOut != "" {
 		traceCap = 1 << 16
 	}
-	svc := serve.New(serve.NewSession(net, shape...), serve.Config{
+	svc := serve.New(sess, serve.Config{
 		MaxBatch:    *batch,
 		MaxWait:     *wait,
 		QueueDepth:  *queue,
@@ -98,8 +107,9 @@ func cmdServe(args []string) error {
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(svc)}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("tbdserve: serving %s (sample shape %v) on %s, batch<=%d wait=%v queue=%d\n",
-			*model, shape, *addr, svc.Config().MaxBatch, svc.Config().MaxWait, svc.Config().QueueDepth)
+		fmt.Printf("tbdserve: serving %s (sample shape %v) on %s, batch<=%d wait=%v queue=%d gemm=%s\n",
+			*model, shape, *addr, svc.Config().MaxBatch, svc.Config().MaxWait, svc.Config().QueueDepth,
+			tensor.GemmKernelTier())
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return

@@ -80,8 +80,30 @@ func (n *Network) Params() []*layers.Param {
 // ParamCount returns the number of trainable scalars.
 func (n *Network) ParamCount() int64 { return layers.ParamCount(n.Params()) }
 
-// WeightBytes returns the weight memory footprint.
-func (n *Network) WeightBytes() int64 { return n.ParamCount() * 4 }
+// FreezeHalfWeights converts every fp16-capable layer's weights to half
+// storage for inference (see layers.Dense.FreezeHalfWeights) and reports
+// whether the network supported the conversion. The cached parameter
+// list is invalidated: frozen matrices leave it, so ParamCount and the
+// gradient footprint drop to the still-trainable remainder. Irreversible;
+// training a frozen network panics.
+func (n *Network) FreezeHalfWeights() bool {
+	f, ok := n.Root.(layers.HalfFreezer)
+	if !ok {
+		return false
+	}
+	f.FreezeHalfWeights()
+	n.params = nil
+	return true
+}
+
+// WeightBytes returns the weight memory footprint, storage-format aware:
+// fp16-frozen layers count two bytes per weight.
+func (n *Network) WeightBytes() int64 {
+	if s, ok := n.Root.(layers.WeightSizer); ok {
+		return s.ResidentWeightBytes()
+	}
+	return n.ParamCount() * 4
+}
 
 // GradientBytes returns the weight-gradient footprint (same as weights).
 func (n *Network) GradientBytes() int64 { return n.ParamCount() * 4 }

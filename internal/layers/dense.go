@@ -17,8 +17,9 @@ type Dense struct {
 	W, B     *Param
 	Act      tensor.ActKind
 	useBias  bool
-	x        *tensor.Tensor // cached input (feature map stash)
-	out, gx  *tensor.Tensor // previously returned buffers, recycled next call
+	wHalf    *tensor.HalfMatrix // frozen fp16 weights; non-nil disables training
+	x        *tensor.Tensor     // cached input (feature map stash)
+	out, gx  *tensor.Tensor     // previously returned buffers, recycled next call
 	origDims []int
 }
 
@@ -73,7 +74,15 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if d.useBias {
 		bias = d.B.Value
 	}
-	y := tensor.MatMulBiasAct(x2, d.W.Value, bias, d.Act)
+	var y *tensor.Tensor
+	if d.wHalf != nil {
+		if train {
+			panic(fmt.Sprintf("layers: %s has fp16-frozen weights; training is disabled", d.name))
+		}
+		y = tensor.MatMulHalfBiasAct(x2, d.wHalf, bias, d.Act)
+	} else {
+		y = tensor.MatMulBiasAct(x2, d.W.Value, bias, d.Act)
+	}
 	d.out = y
 	// Preserve the input's leading dimensions: [..., In] -> [..., Out].
 	if len(d.origDims) > 2 {
@@ -112,6 +121,14 @@ func (d *Dense) Backward(gy *tensor.Tensor) *tensor.Tensor {
 }
 
 func (d *Dense) Params() []*Param {
+	if d.wHalf != nil {
+		// Frozen weights are storage, not trainable parameters; only the
+		// (still fp32) bias remains visible.
+		if d.useBias {
+			return []*Param{d.B}
+		}
+		return nil
+	}
 	if d.useBias {
 		return []*Param{d.W, d.B}
 	}
@@ -119,6 +136,32 @@ func (d *Dense) Params() []*Param {
 }
 
 func (d *Dense) StashBytes() int64 { return bytesOf(d.x) }
+
+// FreezeHalfWeights irreversibly converts the weight matrix to fp16
+// storage: half the resident bytes, forward passes run the fp16-storage
+// GEMM (fp32 accumulate), and the fp32 weight and gradient tensors are
+// dropped. Training panics afterwards; checkpoints written after a
+// freeze omit the frozen matrix. Idempotent.
+func (d *Dense) FreezeHalfWeights() {
+	if d.wHalf != nil {
+		return
+	}
+	d.wHalf = tensor.NewHalfMatrix(d.W.Value)
+	d.W.Value, d.W.Grad = nil, nil
+}
+
+// ResidentWeightBytes implements WeightSizer: two bytes per weight once
+// frozen, four before.
+func (d *Dense) ResidentWeightBytes() int64 {
+	if d.wHalf != nil {
+		n := d.wHalf.Bytes()
+		if d.useBias {
+			n += int64(d.B.Value.Numel()) * 4
+		}
+		return n
+	}
+	return ParamCount(d.Params()) * 4
+}
 
 // Flatten reshapes [N, ...] inputs to [N, F]. It is shape bookkeeping only.
 type Flatten struct {

@@ -67,6 +67,30 @@ type Layer interface {
 	StashBytes() int64
 }
 
+// HalfFreezer is implemented by layers and containers whose weights can
+// be converted to fp16 inference storage (see Dense.FreezeHalfWeights).
+// Containers forward the call to every capable child; layers without
+// fp16 support are simply left at full precision.
+type HalfFreezer interface {
+	FreezeHalfWeights()
+}
+
+// WeightSizer reports resident weight bytes with storage-format
+// awareness: fp16-frozen layers count two bytes per weight where the
+// ParamCount-based default assumes four.
+type WeightSizer interface {
+	ResidentWeightBytes() int64
+}
+
+// residentWeightBytes returns l's resident weight bytes, preferring the
+// layer's own storage-aware accounting.
+func residentWeightBytes(l Layer) int64 {
+	if s, ok := l.(WeightSizer); ok {
+		return s.ResidentWeightBytes()
+	}
+	return ParamCount(l.Params()) * 4
+}
+
 // bytesOf returns the float32 payload size of t, tolerating nil.
 func bytesOf(ts ...*tensor.Tensor) int64 {
 	var n int64

@@ -61,6 +61,25 @@ func (s *Sequential) StashBytes() int64 {
 	return n
 }
 
+// FreezeHalfWeights freezes every child layer that supports fp16
+// storage; others stay at full precision.
+func (s *Sequential) FreezeHalfWeights() {
+	for _, l := range s.Layers {
+		if f, ok := l.(HalfFreezer); ok {
+			f.FreezeHalfWeights()
+		}
+	}
+}
+
+// ResidentWeightBytes sums the children's storage-aware weight bytes.
+func (s *Sequential) ResidentWeightBytes() int64 {
+	var n int64
+	for _, l := range s.Layers {
+		n += residentWeightBytes(l)
+	}
+	return n
+}
+
 // Residual wraps a body with an identity skip connection:
 // y = body(x) + proj(x), where proj defaults to identity and may be a 1x1
 // convolution or dense projection when shapes differ — the ResNet pattern.
@@ -119,6 +138,28 @@ func (r *Residual) StashBytes() int64 {
 	n := r.Body.StashBytes()
 	if r.Proj != nil {
 		n += r.Proj.StashBytes()
+	}
+	return n
+}
+
+// FreezeHalfWeights freezes the body and projection where supported.
+func (r *Residual) FreezeHalfWeights() {
+	if f, ok := r.Body.(HalfFreezer); ok {
+		f.FreezeHalfWeights()
+	}
+	if r.Proj != nil {
+		if f, ok := r.Proj.(HalfFreezer); ok {
+			f.FreezeHalfWeights()
+		}
+	}
+}
+
+// ResidentWeightBytes sums the body's and projection's storage-aware
+// weight bytes.
+func (r *Residual) ResidentWeightBytes() int64 {
+	n := residentWeightBytes(r.Body)
+	if r.Proj != nil {
+		n += residentWeightBytes(r.Proj)
 	}
 	return n
 }

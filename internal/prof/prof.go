@@ -76,6 +76,23 @@ var poolSource func() (gets, hits uint64)
 // acquire/hit counters. Called from package init of the pool's owner.
 func SetPoolCounterSource(fn func() (gets, hits uint64)) { poolSource = fn }
 
+// kernelTier is the label of the GEMM micro-kernel tier the engine is
+// dispatching to (ref/sse/avx2). internal/tensor stores it whenever the
+// tier changes; snapshots stamp it so per-kernel GFLOP/s numbers are
+// attributable to a tier. atomic.Value because tests switch tiers while
+// the /debug/prof endpoint may be reading.
+var kernelTier atomic.Value // string
+
+// SetKernelTier records the active GEMM kernel tier label.
+func SetKernelTier(name string) { kernelTier.Store(name) }
+
+// KernelTier returns the recorded GEMM kernel tier label ("" before the
+// engine has selected one).
+func KernelTier() string {
+	s, _ := kernelTier.Load().(string)
+	return s
+}
+
 // defaultMaxRecords bounds the retained span timeline (~4.7 MB). Stats
 // aggregation is unaffected by the cap; only the Chrome-trace window
 // truncates, with the overflow counted in Dropped.

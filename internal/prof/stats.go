@@ -35,8 +35,11 @@ type KernelStat struct {
 // stats (sorted by total time, descending), the memory watermark, and
 // timeline accounting. It is the JSON body of the /debug/prof endpoint.
 type Snapshot struct {
-	Enabled       bool         `json:"enabled"`
-	WallSec       float64      `json:"wall_sec"`
+	Enabled bool    `json:"enabled"`
+	WallSec float64 `json:"wall_sec"`
+	// KernelTier is the GEMM micro-kernel tier (ref/sse/avx2) the engine
+	// dispatched to, so the per-kernel GFLOP/s rows are attributable.
+	KernelTier    string       `json:"kernel_tier,omitempty"`
 	Kernels       []KernelStat `json:"kernels"`
 	Mem           MemWatermark `json:"memory_watermark"`
 	Events        int          `json:"events"`
@@ -60,6 +63,7 @@ func Stats() Snapshot {
 	snap := Snapshot{
 		Enabled:       enabled.Load(),
 		WallSec:       wall.Seconds(),
+		KernelTier:    KernelTier(),
 		Mem:           collector.mem,
 		Events:        len(collector.recs),
 		DroppedEvents: collector.dropped,
@@ -103,8 +107,12 @@ func Stats() Snapshot {
 // ASCII, markdown, CSV, or JSON via the report package's writers).
 // topK <= 0 keeps every row.
 func (s Snapshot) Table(topK int) *report.Table {
+	title := "Per-kernel profile (live engine)"
+	if s.KernelTier != "" {
+		title = "Per-kernel profile (live engine, gemm tier " + s.KernelTier + ")"
+	}
 	t := &report.Table{
-		Title:   "Per-kernel profile (live engine)",
+		Title:   title,
 		Columns: []string{"Kernel", "Cat", "Count", "Total ms", "Mean µs", "% wall", "GFLOP/s", "Pool gets", "Pool hits"},
 	}
 	rows := s.Kernels

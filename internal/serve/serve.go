@@ -84,3 +84,29 @@ func (s *Session) SampleLen() int { return s.sampleLen }
 func (s *Session) InferBatch(x *tensor.Tensor) *tensor.Tensor {
 	return s.model.Forward(x, false)
 }
+
+// FreezeHalfWeights converts the model's fp16-capable weights to half
+// storage (roughly halving the serving process's resident weight bytes)
+// and reports whether the model supported it. Outputs shift within the
+// weight quantization error — bit-identity with an unfrozen model is
+// deliberately given up. Duck-typed so serve stays decoupled from the
+// graph package; *graph.Network implements the method.
+func (s *Session) FreezeHalfWeights() bool {
+	if f, ok := s.model.(interface{ FreezeHalfWeights() bool }); ok {
+		return f.FreezeHalfWeights()
+	}
+	if f, ok := s.model.(interface{ FreezeHalfWeights() }); ok {
+		f.FreezeHalfWeights()
+		return true
+	}
+	return false
+}
+
+// WeightBytes reports the model's resident weight footprint, or 0 when
+// the model does not expose one.
+func (s *Session) WeightBytes() int64 {
+	if w, ok := s.model.(interface{ WeightBytes() int64 }); ok {
+		return w.WeightBytes()
+	}
+	return 0
+}

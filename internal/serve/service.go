@@ -174,8 +174,14 @@ func (s *Service) Close() {
 }
 
 // Stats returns a snapshot of the service's counters and latency
-// distributions.
-func (s *Service) Stats() StatsSnapshot { return s.stats.snapshot(s.start) }
+// distributions, stamped with the active GEMM kernel tier and the
+// model's resident weight bytes.
+func (s *Service) Stats() StatsSnapshot {
+	snap := s.stats.snapshot(s.start)
+	snap.GemmTier = tensor.GemmKernelTier()
+	snap.WeightBytes = s.sess.WeightBytes()
+	return snap
+}
 
 // LatencyHistogram returns a copy of the full request-latency histogram
 // (bucket-level detail beyond the snapshot quantiles).
@@ -279,6 +285,15 @@ func (s *Service) flush(batch []*request) {
 	out, err := s.inferBatch(x)
 	dur := time.Since(t0)
 	sp.End()
+
+	// Feed the profiler's memory watermark with the serving-side liveness
+	// peak: resident weights (halved after a Session.FreezeHalfWeights)
+	// plus the pool's pack workspace. No gradients, stash, or optimizer
+	// state exist on the inference path.
+	if prof.Enabled() {
+		_, packBytes := tensor.PoolRetainedBytes()
+		prof.SampleMemory(s.sess.WeightBytes(), 0, 0, packBytes, 0)
+	}
 
 	if err != nil {
 		x.Release()

@@ -103,6 +103,13 @@ type StatsSnapshot struct {
 	// completed requests over uptime.
 	UptimeSec     float64 `json:"uptime_sec"`
 	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// GemmTier is the active GEMM micro-kernel tier (ref, sse, avx2),
+	// filled in by Service.Stats.
+	GemmTier string `json:"gemm_tier,omitempty"`
+	// WeightBytes is the model's resident weight footprint (0 when the
+	// model does not expose one), filled in by Service.Stats.
+	WeightBytes int64 `json:"weight_bytes,omitempty"`
 }
 
 func (st *Stats) snapshot(start time.Time) StatsSnapshot {

@@ -1,0 +1,47 @@
+//go:build amd64
+
+package tensor
+
+// CPUID feature detection for the GEMM kernel tiers. tier.go picks the
+// widest micro-kernel the host can run; everything here is a one-time
+// probe of the bits that decision needs.
+
+func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbvRaw() (eax, edx uint32)
+
+// cpuFeatures is the subset of CPUID state the kernel tiers care about.
+type cpuFeatures struct {
+	avx2fma bool // AVX2 + FMA present and YMM state OS-enabled
+	f16c    bool // VCVTPH2PS present: fp16 panels widen in-register
+}
+
+// detectCPU probes CPUID. Called from package init on amd64 (before any
+// goroutines exist), so the plain struct write needs no synchronization.
+func detectCPU() cpuFeatures {
+	var feat cpuFeatures
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 7 {
+		return feat
+	}
+	const (
+		bitFMA     = 1 << 12 // leaf 1 ECX
+		bitOSXSAVE = 1 << 27 // leaf 1 ECX
+		bitAVX     = 1 << 28 // leaf 1 ECX
+		bitF16C    = 1 << 29 // leaf 1 ECX
+		bitAVX2    = 1 << 5  // leaf 7 EBX
+	)
+	_, _, c1, _ := cpuidRaw(1, 0)
+	if c1&bitOSXSAVE == 0 || c1&bitAVX == 0 {
+		return feat
+	}
+	// The OS must save/restore XMM and YMM state (XCR0 bits 1 and 2) or
+	// executing VEX-encoded code faults.
+	xcr0, _ := xgetbvRaw()
+	if xcr0&0x6 != 0x6 {
+		return feat
+	}
+	_, b7, _, _ := cpuidRaw(7, 0)
+	feat.avx2fma = b7&bitAVX2 != 0 && c1&bitFMA != 0
+	feat.f16c = feat.avx2fma && c1&bitF16C != 0
+	return feat
+}

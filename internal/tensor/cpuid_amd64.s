@@ -1,0 +1,27 @@
+// CPUID / XGETBV probes for the GEMM kernel-tier selection (tier.go).
+// Leaf constants and feature bits are decoded on the Go side
+// (cpuid_amd64.go); the assembly only moves register values.
+
+#include "textflag.h"
+
+// func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvRaw() (eax, edx uint32)
+//
+// Reads XCR0. Only called after CPUID reports OSXSAVE, so the
+// instruction cannot fault.
+TEXT ·xgetbvRaw(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

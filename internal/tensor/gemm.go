@@ -109,14 +109,20 @@ func packedWorthIt(n, k, m int) bool {
 // selects dst += product (epilogues not allowed) versus dst = product;
 // overwrite mode never reads dst, so it may be dirty.
 func gemmSerial(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, ep *epilogue) {
+	tier := currentGemmTier()
+	if tier == tierAVX2 && wideWorthIt(n, k, m) {
+		gemmSerialWide(dst, a, b, n, k, m, lay, accum, ep)
+		return
+	}
 	if !packedWorthIt(n, k, m) {
 		gemmRefRange(dst, a, b, n, k, m, lay, accum, 0, n)
 		applyEpilogueRows(dst, m, 0, n, ep)
 		return
 	}
+	tree, seq := kernels4x4(tier)
 	bp := getPackBuf(k * (m &^ 3))
 	packBRange(bp, b, k, m, lay, 0, m&^3)
-	gemmPackedRows(dst, a, b, bp, n, k, m, 0, n, lay, accum, ep)
+	gemmPackedRows(dst, a, b, bp, n, k, m, 0, n, lay, accum, ep, tree, seq)
 	putPackBuf(bp)
 }
 
@@ -130,6 +136,11 @@ func gemmParallel(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, 
 		gemmSerial(dst, a, b, n, k, m, lay, accum, ep)
 		return
 	}
+	tier := currentGemmTier()
+	if tier == tierAVX2 && wideWorthIt(n, k, m) {
+		gemmParallelWide(dst, a, b, n, k, m, lay, accum, ep)
+		return
+	}
 	if !packedWorthIt(n, k, m) {
 		parallelRows(n, minRows, func(lo, hi int) {
 			gemmRefRange(dst, a, b, n, k, m, lay, accum, lo, hi)
@@ -137,6 +148,7 @@ func gemmParallel(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, 
 		})
 		return
 	}
+	tree, seq := kernels4x4(tier)
 	m4 := m &^ 3
 	bp := getPackBuf(k * m4)
 	// Pack column strips in parallel when the panel is big enough; strips
@@ -150,7 +162,7 @@ func gemmParallel(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, 
 		})
 	}
 	parallelRowsAligned(n, microM, minRows, func(lo, hi int) {
-		gemmPackedRows(dst, a, b, bp, n, k, m, lo, hi, lay, accum, ep)
+		gemmPackedRows(dst, a, b, bp, n, k, m, lo, hi, lay, accum, ep, tree, seq)
 	})
 	putPackBuf(bp)
 }
@@ -184,10 +196,11 @@ func gemmRefRange(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, 
 }
 
 // gemmPackedRows computes output rows [lo, hi) against a pre-packed B
-// panel bp. Full 4-row tiles go through the micro-kernel; the row tail
-// falls back to the reference kernels, and ragged columns [m&^3, m) use
-// edge kernels that replicate the reference reduction orders.
-func gemmPackedRows(dst, a, b, bp []float32, n, k, m, lo, hi int, lay gemmLayout, accum bool, ep *epilogue) {
+// panel bp. Full 4-row tiles go through the tree/seq micro-kernels (the
+// tier-selected 4x4 pair — see kernels4x4); the row tail falls back to
+// the reference kernels, and ragged columns [m&^3, m) use edge kernels
+// that replicate the reference reduction orders.
+func gemmPackedRows(dst, a, b, bp []float32, n, k, m, lo, hi int, lay gemmLayout, accum bool, ep *epilogue, tree, seq microFn) {
 	m4 := m &^ 3
 	i0 := lo
 	if hi-lo >= microM {
@@ -196,14 +209,14 @@ func gemmPackedRows(dst, a, b, bp []float32, n, k, m, lo, hi int, lay gemmLayout
 			packATile(ap, a, n, k, i0, lay)
 			if lay == layTransB {
 				for j0 := 0; j0 < m4; j0 += microN {
-					kernelSeq4x4(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
+					seq(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
 				}
 			} else {
 				for j0 := 0; j0 < m4; j0 += microN {
-					kernelTree4x4(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
+					tree(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
 				}
 			}
-			gemmEdgeCols(dst, a, b, n, k, m, i0, i0+microM, lay, accum)
+			gemmEdgeCols(dst, a, b, n, k, m, i0, i0+microM, lay, accum, m4)
 			applyEpilogueRows(dst, m, i0, i0+microM, ep)
 		}
 		putPackBuf(ap)
@@ -280,12 +293,16 @@ func packBRange(bp, b []float32, k, m int, lay gemmLayout, jlo, jhi int) {
 	}
 }
 
-// gemmEdgeCols computes the ragged column remainder [m&^3, m) for output
-// rows [i0, i1), replicating the reference kernels' per-element reduction
-// order: 4-wide grouped expression trees for plain/transposed-A, the
-// dotPair/dotOne split reductions for transposed-B.
-func gemmEdgeCols(dst, a, b []float32, n, k, m, i0, i1 int, lay gemmLayout, accum bool) {
-	m4 := m &^ 3
+// gemmEdgeCols computes the ragged column remainder [mAligned, m) for
+// output rows [i0, i1), replicating the reference kernels' per-element
+// reduction order: 4-wide grouped expression trees for plain/transposed-A,
+// the dotPair/dotOne split reductions for transposed-B. mAligned is the
+// caller's strip alignment (m&^3 for the 4x4 path, m&^7 for the wide
+// path); the per-column order is independent of it for plain/transposed-A,
+// while transposed-B's pair/one grouping starts at mAligned — fixed per
+// shape, so still split-invariant.
+func gemmEdgeCols(dst, a, b []float32, n, k, m, i0, i1 int, lay gemmLayout, accum bool, mAligned int) {
+	m4 := mAligned
 	if m4 == m {
 		return
 	}
@@ -331,7 +348,7 @@ func gemmEdgeCols(dst, a, b []float32, n, k, m, i0, i1 int, lay gemmLayout, accu
 		for i := i0; i < i1; i++ {
 			arow := a[i*k : (i+1)*k]
 			j := m4
-			if j+2 <= m {
+			for j+2 <= m {
 				r0, r1 := dotPair(arow, b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k])
 				if accum {
 					dst[i*m+j] += r0

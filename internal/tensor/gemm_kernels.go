@@ -18,9 +18,13 @@ package tensor
 // SIMD across output columns j keeps each output element's reduction
 // order untouched, and no FMA is used (fused rounding would change bits).
 
+// microFn is the shared micro-kernel signature: an MR x NR output tile at
+// dst (row stride ldd) reduced over kc packed steps of ap and bp.
+type microFn = func(dst []float32, ldd int, ap, bp []float32, kc int, accum bool)
+
 var (
-	kernelTree4x4 = microTree4x4Go
-	kernelSeq4x4  = microSeq4x4Go
+	kernelTree4x4 microFn = microTree4x4Go
+	kernelSeq4x4  microFn = microSeq4x4Go
 )
 
 // microTree4x4Go computes a 4x4 output tile dst[r*ldd+c] (r, c in 0..3)

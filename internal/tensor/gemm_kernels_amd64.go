@@ -34,4 +34,5 @@ func microSeq4x4Asm(dst []float32, ldd int, ap, bp []float32, kc int, accum bool
 func init() {
 	kernelTree4x4 = microTree4x4Asm
 	kernelSeq4x4 = microSeq4x4Asm
+	haveSSEKernels = true
 }

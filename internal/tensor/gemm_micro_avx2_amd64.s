@@ -1,0 +1,245 @@
+// AVX2+FMA 8x8 micro-kernels for the packed GEMM core's avx2 tier. See
+// gemm_kernels_wide.go for the reduction-order contract and gemm_wide.go
+// for the wide packed panel layout.
+//
+// All three kernels compute an 8x8 output tile: 8 YMM accumulators Y0-Y7,
+// one per output row, 8 output columns per vector lane. The A tile stores
+// plain scalars (ap[p*8+r]); each is broadcast with VBROADCASTSS, a pure
+// load-port µop that dual-issues with the FMAs. The B strip holds one
+// 8-column vector per reduction step (fp32 for tree/seq, fp16 bit
+// patterns widened in-register by VCVTPH2PS for the half kernel).
+//
+// Each accumulator receives its fused multiply-adds strictly in k order,
+// so every output element is one sequential FMA chain — deterministic for
+// a given shape, but fused rounding makes this tier ULP-equivalent to the
+// reference kernels rather than bit-identical (gemmFMAMaxULP, tier.go).
+//
+// Plan 9 operand order for VEX ops reverses Intel:
+//   VFMADD231PS Yb, Ya, Yacc  =>  Yacc += Ya * Yb
+//
+// Dst row addressing: SI = ldd*4, R9 = 3*SI, R12 = dst + 4*SI; rows 0-3
+// index off DI, rows 4-7 off R12, with scales 1/2 and the 3*SI register.
+
+#include "textflag.h"
+
+// Zero all eight accumulators.
+#define ZERO_ACC \
+	VXORPS Y0, Y0, Y0; \
+	VXORPS Y1, Y1, Y1; \
+	VXORPS Y2, Y2, Y2; \
+	VXORPS Y3, Y3, Y3; \
+	VXORPS Y4, Y4, Y4; \
+	VXORPS Y5, Y5, Y5; \
+	VXORPS Y6, Y6, Y6; \
+	VXORPS Y7, Y7, Y7
+
+// Load dst pointer/stride args and derive the row bases.
+#define LOAD_DST_ROWS \
+	MOVQ dst+0(FP), DI; \
+	MOVQ ldd+8(FP), SI; \
+	SHLQ $2, SI; \
+	LEAQ (SI)(SI*2), R9; \
+	LEAQ (DI)(SI*4), R12
+
+// Seed the accumulators from the eight dst rows.
+#define LOAD_ACC \
+	VMOVUPS (DI), Y0; \
+	VMOVUPS (DI)(SI*1), Y1; \
+	VMOVUPS (DI)(SI*2), Y2; \
+	VMOVUPS (DI)(R9*1), Y3; \
+	VMOVUPS (R12), Y4; \
+	VMOVUPS (R12)(SI*1), Y5; \
+	VMOVUPS (R12)(SI*2), Y6; \
+	VMOVUPS (R12)(R9*1), Y7
+
+// One reduction step: B vector in Yb, the step's a scalars at (AX) (first
+// unrolled step) or 32(AX) (second). Broadcast temps Y10/Y11 alternate so
+// decode never stalls on a single rename chain.
+#define FMA_STEP0(Yb) \
+	VBROADCASTSS (AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y0; \
+	VBROADCASTSS 4(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y1; \
+	VBROADCASTSS 8(AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y2; \
+	VBROADCASTSS 12(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y3; \
+	VBROADCASTSS 16(AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y4; \
+	VBROADCASTSS 20(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y5; \
+	VBROADCASTSS 24(AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y6; \
+	VBROADCASTSS 28(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y7
+
+#define FMA_STEP1(Yb) \
+	VBROADCASTSS 32(AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y0; \
+	VBROADCASTSS 36(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y1; \
+	VBROADCASTSS 40(AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y2; \
+	VBROADCASTSS 44(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y3; \
+	VBROADCASTSS 48(AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y4; \
+	VBROADCASTSS 52(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y5; \
+	VBROADCASTSS 56(AX), Y10; \
+	VFMADD231PS  Yb, Y10, Y6; \
+	VBROADCASTSS 60(AX), Y11; \
+	VFMADD231PS  Yb, Y11, Y7
+
+// Store the accumulators to the eight dst rows and clear the upper YMM
+// state before returning to SSE-era Go code.
+#define STORE_ACC \
+	VMOVUPS Y0, (DI); \
+	VMOVUPS Y1, (DI)(SI*1); \
+	VMOVUPS Y2, (DI)(SI*2); \
+	VMOVUPS Y3, (DI)(R9*1); \
+	VMOVUPS Y4, (R12); \
+	VMOVUPS Y5, (R12)(SI*1); \
+	VMOVUPS Y6, (R12)(SI*2); \
+	VMOVUPS Y7, (R12)(R9*1)
+
+// func microTree8x8AVX2(dst *float32, ldd int, ap, bp *float32, kc, accum int)
+//
+// Tree-contract kernel (plain and transposed-A layouts): accum != 0 seeds
+// the accumulators from dst before the FMA chain.
+TEXT ·microTree8x8AVX2(SB), NOSPLIT, $0-48
+	LOAD_DST_ROWS
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVQ accum+40(FP), DX
+
+	TESTQ DX, DX
+	JZ    tree_zero
+	LOAD_ACC
+	JMP  tree_body
+
+tree_zero:
+	ZERO_ACC
+
+tree_body:
+	CMPQ CX, $2
+	JL   tree_tail
+
+tree_pair:
+	VMOVUPS (BX), Y8
+	VMOVUPS 32(BX), Y9
+	FMA_STEP0(Y8)
+	FMA_STEP1(Y9)
+	ADDQ $64, AX
+	ADDQ $64, BX
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  tree_pair
+
+tree_tail:
+	TESTQ CX, CX
+	JZ    tree_done
+	VMOVUPS (BX), Y8
+	FMA_STEP0(Y8)
+
+tree_done:
+	STORE_ACC
+	VZEROUPPER
+	RET
+
+// func microSeq8x8AVX2(dst *float32, ldd int, ap, bp *float32, kc, accum int)
+//
+// Seq-contract kernel (transposed-B layout): sums always start from zero;
+// accum != 0 adds dst once at the end.
+TEXT ·microSeq8x8AVX2(SB), NOSPLIT, $0-48
+	LOAD_DST_ROWS
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVQ accum+40(FP), DX
+
+	ZERO_ACC
+
+	CMPQ CX, $2
+	JL   seq_tail
+
+seq_pair:
+	VMOVUPS (BX), Y8
+	VMOVUPS 32(BX), Y9
+	FMA_STEP0(Y8)
+	FMA_STEP1(Y9)
+	ADDQ $64, AX
+	ADDQ $64, BX
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  seq_pair
+
+seq_tail:
+	TESTQ CX, CX
+	JZ    seq_fini
+	VMOVUPS (BX), Y8
+	FMA_STEP0(Y8)
+
+seq_fini:
+	TESTQ DX, DX
+	JZ    seq_done
+	VADDPS (DI), Y0, Y0
+	VADDPS (DI)(SI*1), Y1, Y1
+	VADDPS (DI)(SI*2), Y2, Y2
+	VADDPS (DI)(R9*1), Y3, Y3
+	VADDPS (R12), Y4, Y4
+	VADDPS (R12)(SI*1), Y5, Y5
+	VADDPS (R12)(SI*2), Y6, Y6
+	VADDPS (R12)(R9*1), Y7, Y7
+
+seq_done:
+	STORE_ACC
+	VZEROUPPER
+	RET
+
+// func microHalf8x8AVX2(dst *float32, ldd int, ap *float32, bp *uint16, kc, accum int)
+//
+// Tree-contract kernel with the B strip stored as fp16 bit patterns:
+// VCVTPH2PS widens 8 halves (16 bytes) to a float32 vector in-register
+// each step, so fp16 storage never touches memory as fp32. Requires F16C.
+TEXT ·microHalf8x8AVX2(SB), NOSPLIT, $0-48
+	LOAD_DST_ROWS
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	MOVQ accum+40(FP), DX
+
+	TESTQ DX, DX
+	JZ    half_zero
+	LOAD_ACC
+	JMP  half_body
+
+half_zero:
+	ZERO_ACC
+
+half_body:
+	CMPQ CX, $2
+	JL   half_tail
+
+half_pair:
+	VCVTPH2PS (BX), Y8
+	VCVTPH2PS 16(BX), Y9
+	FMA_STEP0(Y8)
+	FMA_STEP1(Y9)
+	ADDQ $64, AX
+	ADDQ $32, BX
+	SUBQ $2, CX
+	CMPQ CX, $2
+	JGE  half_pair
+
+half_tail:
+	TESTQ CX, CX
+	JZ    half_done
+	VCVTPH2PS (BX), Y8
+	FMA_STEP0(Y8)
+
+half_done:
+	STORE_ACC
+	VZEROUPPER
+	RET

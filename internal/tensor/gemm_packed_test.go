@@ -22,7 +22,7 @@ func packedGEMM(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool) {
 	}
 	bp := getPackBuf(k * (m &^ 3))
 	packBRange(bp, b, k, m, lay, 0, m&^3)
-	gemmPackedRows(dst, a, b, bp, n, k, m, 0, n, lay, accum, nil)
+	gemmPackedRows(dst, a, b, bp, n, k, m, 0, n, lay, accum, nil, kernelTree4x4, kernelSeq4x4)
 	putPackBuf(bp)
 }
 
@@ -70,10 +70,28 @@ func TestPackedMatchesRefBitExact(t *testing.T) {
 	}
 }
 
+// forceGemmTier pins the micro-kernel tier for one test, restoring the
+// previous tier on cleanup. Skips if the tier is unavailable on this CPU.
+func forceGemmTier(t *testing.T, name string) {
+	t.Helper()
+	prev, err := SetGemmKernelTier(name)
+	if err != nil {
+		t.Skipf("tier %q unavailable: %v", name, err)
+	}
+	t.Cleanup(func() {
+		if _, err := SetGemmKernelTier(prev); err != nil {
+			t.Fatalf("restoring tier %q: %v", prev, err)
+		}
+	})
+}
+
 // TestPackedParallelMatchesSerial pins that the public entry points are
 // split-invariant: worker counts 1 and 3 produce identical bits, and both
-// match the reference kernels.
+// match the reference kernels. The comparison against the reference is
+// exact, so the test pins the bit-exact tier; the avx2/FMA tier has its
+// own split-invariance and ULP-equivalence tests in gemm_tier_test.go.
 func TestPackedParallelMatchesSerial(t *testing.T) {
+	forceGemmTier(t, BitExactGemmTier())
 	defer SetParallelism(1)
 	rng := NewRNG(42)
 	for _, s := range packedEquivShapes {

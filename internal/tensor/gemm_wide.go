@@ -1,0 +1,140 @@
+package tensor
+
+// Wide (8x8) packed-GEMM driver for the avx2 tier. Same BLIS shape as the
+// 4x4 driver in gemm.go — pack B strips once, pack A tiles per worker,
+// ragged edges fall back to scalar code — but with the wide panel layout
+// of gemm_kernels_wide.go: A tiles store plain scalars (the kernel
+// broadcasts), B strips are 8 columns wide.
+//
+// Determinism contract (within the avx2 tier): every output element is
+// reduced in an order that depends only on (n, k, m, layout), never on
+// the worker split — full tiles run one sequential FMA chain per element,
+// edge columns run the fixed scalar orders of gemmEdgeCols, and
+// parallelRowsAligned keeps interior split boundaries on 8-row multiples
+// so tile/edge assignment of every row is split-independent. Parallel
+// runs are therefore bit-identical to serial runs on the same tier, even
+// though the tier itself is only ULP-equivalent to ref/sse.
+
+// wideWorthIt reports whether the wide packed path applies: at least one
+// full 8x8 tile and enough work to amortize packing. Narrower shapes fall
+// through to the 4x4 path, which under the avx2 tier still runs the SSE
+// assembly (bit-exact with ref), so tiny GEMMs lose no precision.
+func wideWorthIt(n, k, m int) bool {
+	return n >= microMW && m >= microNW && k >= 2 && n*k*m >= packedMinWork
+}
+
+// gemmSerialWide runs one wide-path GEMM on the calling goroutine.
+func gemmSerialWide(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, ep *epilogue) {
+	bp := getPackBuf(k * (m &^ 7))
+	packBRangeWide(bp, b, k, m, lay, 0, m&^7)
+	gemmPackedRowsWide(dst, a, b, bp, n, k, m, 0, n, lay, accum, ep)
+	putPackBuf(bp)
+}
+
+// gemmParallelWide is gemmSerialWide with output rows split across the
+// worker pool; the caller has already established that more than one
+// worker will run. The B panel is packed once (in parallel when large)
+// and shared read-only.
+func gemmParallelWide(dst, a, b []float32, n, k, m int, lay gemmLayout, accum bool, ep *epilogue) {
+	m8 := m &^ 7
+	bp := getPackBuf(k * m8)
+	packMin := 1 + minElemsPerWorker/(8*k+1)
+	if rowWorkers(m8/8, packMin) <= 1 {
+		packBRangeWide(bp, b, k, m, lay, 0, m8)
+	} else {
+		parallelRows(m8/8, packMin, func(slo, shi int) {
+			packBRangeWide(bp, b, k, m, lay, slo*8, shi*8)
+		})
+	}
+	parallelRowsAligned(n, microMW, gemmMinRows(k, m), func(lo, hi int) {
+		gemmPackedRowsWide(dst, a, b, bp, n, k, m, lo, hi, lay, accum, ep)
+	})
+	putPackBuf(bp)
+}
+
+// gemmPackedRowsWide computes output rows [lo, hi) against a pre-packed
+// wide B panel. Full 8-row tiles go through the 8x8 kernels; the row tail
+// falls back to the reference kernels and ragged columns [m&^7, m) to the
+// shared edge kernels.
+func gemmPackedRowsWide(dst, a, b, bp []float32, n, k, m, lo, hi int, lay gemmLayout, accum bool, ep *epilogue) {
+	m8 := m &^ 7
+	i0 := lo
+	if hi-lo >= microMW {
+		ap := getPackBuf(microMW * k)
+		for ; i0+microMW <= hi; i0 += microMW {
+			packATileWide(ap, a, n, k, i0, lay)
+			if lay == layTransB {
+				for j0 := 0; j0 < m8; j0 += microNW {
+					kernelSeq8x8(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
+				}
+			} else {
+				for j0 := 0; j0 < m8; j0 += microNW {
+					kernelTree8x8(dst[i0*m+j0:], m, ap, bp[j0*k:], k, accum)
+				}
+			}
+			gemmEdgeCols(dst, a, b, n, k, m, i0, i0+microMW, lay, accum, m8)
+			applyEpilogueRows(dst, m, i0, i0+microMW, ep)
+		}
+		putPackBuf(ap)
+	}
+	if i0 < hi {
+		gemmRefRange(dst, a, b, n, k, m, lay, accum, i0, hi)
+		applyEpilogueRows(dst, m, i0, hi, ep)
+	}
+}
+
+// packATileWide packs the 8-row micro-tile starting at output row i0:
+// ap[p*8+r] = tile row r at reduction step p, plain scalars.
+func packATileWide(ap, a []float32, n, k, i0 int, lay gemmLayout) {
+	if lay == layTransA {
+		// a is [k, n]; tile rows are the strided columns i0..i0+7, so each
+		// reduction step is one contiguous 8-element copy.
+		for p := 0; p < k; p++ {
+			copy(ap[p*8:p*8+8], a[p*n+i0:p*n+i0+8])
+		}
+		return
+	}
+	// Plain and transposed-B share the same [n, k] row-major a.
+	r0 := a[i0*k : (i0+1)*k]
+	r1 := a[(i0+1)*k : (i0+2)*k]
+	r2 := a[(i0+2)*k : (i0+3)*k]
+	r3 := a[(i0+3)*k : (i0+4)*k]
+	r4 := a[(i0+4)*k : (i0+5)*k]
+	r5 := a[(i0+5)*k : (i0+6)*k]
+	r6 := a[(i0+6)*k : (i0+7)*k]
+	r7 := a[(i0+7)*k : (i0+8)*k]
+	for p := 0; p < k; p++ {
+		q := ap[p*8 : p*8+8]
+		q[0], q[1], q[2], q[3] = r0[p], r1[p], r2[p], r3[p]
+		q[4], q[5], q[6], q[7] = r4[p], r5[p], r6[p], r7[p]
+	}
+}
+
+// packBRangeWide packs B column strips [jlo, jhi) (both multiples of 8)
+// into bp: bp[j0*k + p*8 + c] = b(p, j0+c).
+func packBRangeWide(bp, b []float32, k, m int, lay gemmLayout, jlo, jhi int) {
+	if lay == layTransB {
+		for j0 := jlo; j0 < jhi; j0 += 8 {
+			s0 := b[j0*k : (j0+1)*k]
+			s1 := b[(j0+1)*k : (j0+2)*k]
+			s2 := b[(j0+2)*k : (j0+3)*k]
+			s3 := b[(j0+3)*k : (j0+4)*k]
+			s4 := b[(j0+4)*k : (j0+5)*k]
+			s5 := b[(j0+5)*k : (j0+6)*k]
+			s6 := b[(j0+6)*k : (j0+7)*k]
+			s7 := b[(j0+7)*k : (j0+8)*k]
+			q := bp[j0*k : (j0+8)*k]
+			for p := 0; p < k; p++ {
+				q[p*8], q[p*8+1], q[p*8+2], q[p*8+3] = s0[p], s1[p], s2[p], s3[p]
+				q[p*8+4], q[p*8+5], q[p*8+6], q[p*8+7] = s4[p], s5[p], s6[p], s7[p]
+			}
+		}
+		return
+	}
+	for j0 := jlo; j0 < jhi; j0 += 8 {
+		q := bp[j0*k : (j0+8)*k]
+		for p := 0; p < k; p++ {
+			copy(q[p*8:p*8+8], b[p*m+j0:p*m+j0+8])
+		}
+	}
+}

@@ -4,8 +4,9 @@ import "math"
 
 // IEEE 754 half-precision conversion, used by the distributed layer to
 // compress gradient payloads in flight (the paper's §4.5 recommendation
-// to "reduce the amount of data sent"). Training state stays FP32; only
-// the wire format narrows.
+// to "reduce the amount of data sent") and by the fp16-storage GEMM
+// (gemm_half.go) to hold frozen inference weights at half the bytes.
+// Training state stays FP32; only the storage format narrows.
 
 // Float32ToHalf converts one float32 to its nearest float16 bit pattern
 // (round-to-nearest-even, with overflow to ±Inf and graceful subnormals).
@@ -31,15 +32,23 @@ func Float32ToHalf(f float32) uint16 {
 		mant |= 0x800000
 		shift := uint32(14 - exp)
 		half := uint16(mant >> shift)
-		// Round to nearest.
-		if mant>>(shift-1)&1 != 0 {
+		// Round to nearest even: up only when the round bit is set and
+		// either a sticky bit survives below it or the kept LSB is odd.
+		// (Round-half-up here would pull exact ties like 2^-25 away from
+		// zero, off by one from the hardware F16C conversion.)
+		round := mant >> (shift - 1) & 1
+		sticky := mant & (1<<(shift-1) - 1)
+		if round != 0 && (sticky != 0 || half&1 == 1) {
 			half++
 		}
 		return sign | half
 	default:
 		half := sign | uint16(exp<<10) | uint16(mant>>13)
-		// Round to nearest even on the dropped bits.
-		if mant&0x1000 != 0 && (mant&0x2fff != 0x1000 || half&1 == 1) {
+		// Round to nearest even on the 13 dropped bits: up only when the
+		// round bit (0x1000) is set and either a sticky bit survives below
+		// it or the kept LSB is odd. The mantissa increment carries into
+		// the exponent correctly, including 0x7bff -> 0x7c00 (Inf).
+		if mant&0x1000 != 0 && (mant&0xfff != 0 || half&1 == 1) {
 			half++
 		}
 		return half

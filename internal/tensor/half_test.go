@@ -64,6 +64,125 @@ func TestPropHalfRoundTripRelativeError(t *testing.T) {
 	}
 }
 
+// TestHalfExhaustiveRoundTrip decodes every one of the 65536 half bit
+// patterns and re-encodes it. Every non-NaN pattern must survive exactly
+// (half -> float32 is lossless, and the nearest half to an
+// exactly-representable value is itself); NaNs keep NaN-ness and sign
+// but canonicalize their payload.
+func TestHalfExhaustiveRoundTrip(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := uint16(i)
+		f := HalfToFloat32(h)
+		back := Float32ToHalf(f)
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 { // NaN: payload may canonicalize
+			if back&0x7c00 != 0x7c00 || back&0x3ff == 0 {
+				t.Fatalf("NaN %#04x re-encoded as non-NaN %#04x", h, back)
+			}
+			if back&0x8000 != h&0x8000 {
+				t.Fatalf("NaN %#04x lost its sign: re-encoded %#04x", h, back)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("half %#04x -> float32 %g -> half %#04x (must round-trip exactly)", h, f, back)
+		}
+	}
+}
+
+// TestHalfRoundToNearestEvenTies pins the encoder to RNE at exact
+// halfway points, in both the normal and subnormal ranges and at the
+// overflow boundary. Round-half-up would fail every even-target case.
+func TestHalfRoundToNearestEvenTies(t *testing.T) {
+	pow := func(e int) float32 { return float32(math.Ldexp(1, e)) }
+	cases := []struct {
+		name string
+		f    float32
+		h    uint16
+	}{
+		// 2^-25 is exactly halfway between 0 and the smallest subnormal
+		// 2^-24; the even neighbor is zero.
+		{"tie-to-zero", pow(-25), 0x0000},
+		{"tie-to-zero-neg", -pow(-25), 0x8000},
+		// Just above the halfway point must round away from zero.
+		{"above-tie-to-min-subnormal", pow(-25) * (1 + 1.0/1024), 0x0001},
+		// 3*2^-25 sits between subnormals 0x0001 and 0x0002; even wins.
+		{"tie-to-even-subnormal", 3 * pow(-25), 0x0002},
+		// Below half of the smallest subnormal underflows to zero.
+		{"underflow", pow(-26), 0x0000},
+		// Halfway between the largest subnormal (0x03ff) and the smallest
+		// normal (0x0400): 2047*2^-25, exact in float32; even is 0x0400.
+		{"tie-subnormal-to-normal", 2047 * pow(-25), 0x0400},
+		// 1 + 2^-11 is halfway between 1.0 (0x3c00) and 1+2^-10 (0x3c01).
+		{"tie-to-even-normal", 1 + pow(-11), 0x3c00},
+		// One float32 ulp above the tie (2^-24 would round back to the
+		// tie in float32 itself) must go up.
+		{"above-tie-normal", 1 + pow(-11) + pow(-23), 0x3c01},
+		// 1 + 3*2^-11: halfway between 0x3c01 and 0x3c02; even wins.
+		{"tie-to-even-normal-up", 1 + 3*pow(-11), 0x3c02},
+		// 65520 is halfway between 65504 (max finite) and 65536; RNE
+		// rounds to the even 65536, which overflows to infinity.
+		{"tie-overflow-to-inf", 65520, 0x7c00},
+		{"below-overflow-tie", 65519, 0x7bff},
+	}
+	for _, c := range cases {
+		if got := Float32ToHalf(c.f); got != c.h {
+			t.Errorf("%s: Float32ToHalf(%g) = %#04x, want %#04x", c.name, c.f, got, c.h)
+		}
+	}
+}
+
+// TestHalfSubnormalBoundaries walks the exact edges of the subnormal
+// range through both directions of the conversion.
+func TestHalfSubnormalBoundaries(t *testing.T) {
+	minSub := float32(math.Ldexp(1, -24))    // 0x0001
+	maxSub := float32(math.Ldexp(1023, -24)) // 0x03ff
+	minNorm := float32(math.Ldexp(1, -14))   // 0x0400
+	if got := Float32ToHalf(minSub); got != 0x0001 {
+		t.Fatalf("min subnormal encodes to %#04x", got)
+	}
+	if got := HalfToFloat32(0x0001); got != minSub {
+		t.Fatalf("0x0001 decodes to %g, want %g", got, minSub)
+	}
+	if got := Float32ToHalf(maxSub); got != 0x03ff {
+		t.Fatalf("max subnormal %g encodes to %#04x", maxSub, got)
+	}
+	if got := HalfToFloat32(0x03ff); got != maxSub {
+		t.Fatalf("0x03ff decodes to %g, want %g", got, maxSub)
+	}
+	if got := Float32ToHalf(minNorm); got != 0x0400 {
+		t.Fatalf("min normal encodes to %#04x", got)
+	}
+	if got := HalfToFloat32(0x0400); got != minNorm {
+		t.Fatalf("0x0400 decodes to %g, want %g", got, minNorm)
+	}
+}
+
+// TestHalfSpecialSigns: NaN and infinity must keep their sign bit in
+// both directions.
+func TestHalfSpecialSigns(t *testing.T) {
+	negNaN := math.Float32frombits(0xffc00000)
+	if got := Float32ToHalf(negNaN); got&0x8000 == 0 || got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Fatalf("negative NaN encodes to %#04x", got)
+	}
+	if got := HalfToFloat32(0xfe00); !math.IsNaN(float64(got)) || !math.Signbit(float64(got)) {
+		t.Fatalf("0xfe00 decodes to %g, want negative NaN", got)
+	}
+	if got := Float32ToHalf(float32(math.Inf(-1))); got != 0xfc00 {
+		t.Fatalf("-Inf encodes to %#04x", got)
+	}
+	if got := HalfToFloat32(0xfc00); !math.IsInf(float64(got), -1) {
+		t.Fatalf("0xfc00 decodes to %g, want -Inf", got)
+	}
+	// Negative zero keeps its sign through the round trip.
+	negZero := math.Float32frombits(0x80000000)
+	if got := Float32ToHalf(negZero); got != 0x8000 {
+		t.Fatalf("-0 encodes to %#04x", got)
+	}
+	if got := HalfToFloat32(0x8000); got != 0 || !math.Signbit(float64(got)) {
+		t.Fatalf("0x8000 decodes to %g, want -0", got)
+	}
+}
+
 func TestEncodeDecodeHalfSlices(t *testing.T) {
 	rng := NewRNG(1)
 	src := make([]float32, 1000)
@@ -88,4 +207,56 @@ func TestEncodeDecodeHalfSlices(t *testing.T) {
 	if maxRel > 1.0/1024 {
 		t.Fatalf("max relative error %g too large", maxRel)
 	}
+}
+
+// FuzzHalfRoundTrip checks conversion invariants over arbitrary float32
+// bit patterns: the sign always survives, NaNs stay NaNs, values beyond
+// the half range saturate to infinity, and everything in range lands
+// within half an fp16 ulp (2^-11 relative for normals, 2^-25 absolute
+// in the subnormal range).
+func FuzzHalfRoundTrip(f *testing.F) {
+	for _, seed := range []uint32{
+		0x00000000, 0x80000000, // +/- 0
+		0x3f800000, 0xbf800000, // +/- 1
+		0x7f800000, 0xff800000, // +/- Inf
+		0x7fc00001, 0xffc00000, // NaNs
+		0x33000000, // 2^-25, the tie-to-zero case
+		0x477ff000, // 65520, the tie-to-Inf case
+		0x00000001, // smallest f32 subnormal
+		0x38800000, // 2^-14, smallest half normal
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		v := math.Float32frombits(bits)
+		h := Float32ToHalf(v)
+		back := HalfToFloat32(h)
+
+		if (h&0x8000 != 0) != math.Signbit(float64(v)) {
+			t.Fatalf("%g (%#08x): sign lost in half %#04x", v, bits, h)
+		}
+		if math.Signbit(float64(back)) != math.Signbit(float64(v)) {
+			t.Fatalf("%g (%#08x): sign lost in round trip %g", v, bits, back)
+		}
+		switch {
+		case math.IsNaN(float64(v)):
+			if !math.IsNaN(float64(back)) {
+				t.Fatalf("NaN %#08x round-tripped to %g", bits, back)
+			}
+		case math.Abs(float64(v)) >= 65520:
+			if !math.IsInf(float64(back), 0) {
+				t.Fatalf("%g should saturate to Inf, got %g", v, back)
+			}
+		default:
+			av := math.Abs(float64(v))
+			diff := math.Abs(float64(back) - float64(v))
+			if diff > math.Max(math.Ldexp(1, -25), av/2048) {
+				t.Fatalf("%g (%#08x) -> %#04x -> %g: error %g exceeds half an fp16 ulp", v, bits, h, back, diff)
+			}
+		}
+		// Re-encoding the rounded value is a fixed point (no drift).
+		if h2 := Float32ToHalf(back); !math.IsNaN(float64(back)) && h2 != h {
+			t.Fatalf("%g (%#08x): re-encode drifted %#04x -> %#04x", v, bits, h, h2)
+		}
+	})
 }
