@@ -53,7 +53,7 @@ bench:
 # Serving benchmarks: dynamically batched vs unbatched closed-loop
 # throughput across batch caps, machine-readable for regression tracking.
 bench-serve:
-	$(GO) test -run '^$$' -bench 'Serve' -benchtime 2s -benchmem -json . > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'Serve|Fleet' -benchtime 2s -benchmem -json . > BENCH_serve.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_serve.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
 # Profiler overhead benchmarks: span fast path (disabled must be 0

@@ -509,6 +509,78 @@ func BenchmarkServeBatched(b *testing.B) {
 	}
 }
 
+// benchFleetConfig drives a Fleet with a fixed closed-loop client
+// population, reporting sustained throughput plus the router's spread.
+func benchFleetConfig(b *testing.B, replicas, maxBatch, clients int) {
+	b.Helper()
+	factory := func() (*serve.Session, error) {
+		net, shape, err := models.ServeTwin("mlp", tensor.NewRNG(42))
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewSession(net, shape...), nil
+	}
+	fleet, err := serve.NewFleet(factory, serve.FleetConfig{
+		Replicas:   replicas,
+		MaxBatch:   maxBatch,
+		MaxWait:    500 * time.Microsecond,
+		QueueDepth: 4 * clients,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+
+	_, shape, err := models.ServeTwin("mlp", tensor.NewRNG(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRNG(7)
+	samples := make([]*tensor.Tensor, clients)
+	for i := range samples {
+		samples[i] = tensor.RandNormal(rng, 0, 1, shape...)
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		n := b.N / clients
+		if w < b.N%clients {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if _, err := fleet.Predict(samples[w]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	snap := fleet.Stats()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	b.ReportMetric(snap.MeanOccupancy, "batch-occupancy")
+}
+
+// BenchmarkFleet sweeps the replica count at a fixed batch cap and
+// client population. On a multi-core host the samples/s column is the
+// replica-scaling curve; on a single core it documents the router and
+// shared-weight overhead staying flat (see EXPERIMENTS.md).
+func BenchmarkFleet(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas%d", replicas), func(b *testing.B) {
+			benchFleetConfig(b, replicas, 64, 256)
+		})
+	}
+}
+
 // BenchmarkTwinStep measures one full training step of the numeric ResNet
 // twin under the engine configurations the backend work targets: the
 // seed-equivalent serial/no-pool mode, pooling alone, and pooling with the

@@ -163,7 +163,7 @@ var rateUnits = []string{"GFLOP/s", "samples/s", "Melem/s", "MB/s"}
 // pattern. Explicit -old/-bench flags override the suite defaults.
 var suites = map[string]struct{ oldPath, pattern string }{
 	"numeric": {"BENCH_numeric.json", "GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep"},
-	"serve":   {"BENCH_serve.json", "Serve"},
+	"serve":   {"BENCH_serve.json", "Serve|Fleet"},
 	"prof":    {"BENCH_prof.json", "Prof"},
 }
 

@@ -1,0 +1,96 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"tbd/internal/layers"
+	"tbd/internal/tensor"
+)
+
+func shareTestNet(seed uint64) *Network {
+	rng := tensor.NewRNG(seed)
+	return New("share-twin", layers.NewSequential("mlp",
+		layers.NewDenseAct("fc1", 8, 16, tensor.ActReLU, rng),
+		layers.NewDense("fc2", 16, 4, rng),
+	))
+}
+
+// TestShareParamsFrom: after sharing, two differently-initialized
+// networks produce bit-identical forwards, report aliased storage, and a
+// checkpoint loaded into the primary is visible through the replica
+// without any further copying — the fleet hot-swap handoff.
+func TestShareParamsFrom(t *testing.T) {
+	primary := shareTestNet(1)
+	replica := shareTestNet(2) // different seed: provably different weights
+
+	x := tensor.RandNormal(tensor.NewRNG(7), 0, 1, 3, 8)
+	before := append([]float32(nil), replica.Infer(x).Data()...)
+	wantPrimary := append([]float32(nil), primary.Infer(x).Data()...)
+
+	if replica.SharesParamsWith(primary) {
+		t.Fatal("independent networks report shared params")
+	}
+	if err := replica.ShareParamsFrom(primary); err != nil {
+		t.Fatal(err)
+	}
+	if !replica.SharesParamsWith(primary) {
+		t.Fatal("SharesParamsWith false after ShareParamsFrom")
+	}
+
+	got := replica.Infer(x).Data()
+	differs := false
+	for i := range got {
+		if got[i] != wantPrimary[i] {
+			t.Fatalf("shared replica elem %d = %g, primary %g (must be bit-identical)", i, got[i], wantPrimary[i])
+		}
+		if got[i] != before[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("replica output unchanged by sharing; test is vacuous")
+	}
+
+	// Checkpoint handoff: loading into the primary must flow through the
+	// replica's aliased storage.
+	donor := shareTestNet(3)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, donor, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(&buf, primary); err != nil {
+		t.Fatal(err)
+	}
+	wantDonor := donor.Infer(x).Data()
+	gotReplica := replica.Infer(x).Data()
+	for i := range wantDonor {
+		if gotReplica[i] != wantDonor[i] {
+			t.Fatalf("post-checkpoint replica elem %d = %g, donor %g", i, gotReplica[i], wantDonor[i])
+		}
+	}
+}
+
+// TestShareParamsFromMismatch: architecture drift is refused before any
+// parameter is aliased.
+func TestShareParamsFromMismatch(t *testing.T) {
+	n := shareTestNet(1)
+	rng := tensor.NewRNG(2)
+	other := New("other", layers.NewSequential("mlp",
+		layers.NewDenseAct("fc1", 8, 16, tensor.ActReLU, rng),
+		layers.NewDense("fc2", 16, 5, rng), // different output width
+	))
+	if err := n.ShareParamsFrom(other); err == nil {
+		t.Fatal("shape mismatch not refused")
+	}
+	if n.SharesParamsWith(other) {
+		t.Fatal("network left sharing after refused ShareParamsFrom")
+	}
+	if err := n.ShareParamsFrom("not a network"); err == nil {
+		t.Fatal("non-network source not refused")
+	}
+	// Self-share is a no-op, not an error.
+	if err := n.ShareParamsFrom(n); err != nil {
+		t.Fatal(err)
+	}
+}

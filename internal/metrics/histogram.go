@@ -168,6 +168,30 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// Clone returns a deep copy of h: same bucket layout, same counts. The
+// copy is independent — observing into either histogram afterwards does
+// not move the other.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]uint64(nil), h.counts...),
+		count:  h.count,
+		sum:    h.sum,
+		min:    h.min,
+		max:    h.max,
+	}
+}
+
+// Reset drops every observation, keeping the bucket layout. Used by the
+// rotating Window to recycle expired slices without reallocating.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.count = 0
+	h.sum = 0
+	h.min = math.Inf(1)
+	h.max = math.Inf(-1)
+}
+
 // Merge adds o's observations into h. Both histograms must share the same
 // bucket bounds.
 func (h *Histogram) Merge(o *Histogram) {

@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbd/internal/models"
+	"tbd/internal/tensor"
+)
+
+// twinFleetFactory returns a factory producing identically-seeded model
+// twins, the shape NewFleet expects replicas to come from.
+func twinFleetFactory(t *testing.T, name string, seed uint64) (func() (*Session, error), []int) {
+	t.Helper()
+	_, shape, err := models.ServeTwin(name, tensor.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (*Session, error) {
+		net, shp, err := models.ServeTwin(name, tensor.NewRNG(seed))
+		if err != nil {
+			return nil, err
+		}
+		return NewSession(net, shp...), nil
+	}, shape
+}
+
+// TestFleetBitIdenticalToSingleSample is the fleet's zero-tolerance
+// equality acceptance test: with weights shared across 4 replicas, every
+// routed result must be bit-identical to a single-sample forward on an
+// identically seeded reference network, whichever replica served it.
+func TestFleetBitIdenticalToSingleSample(t *testing.T) {
+	prevTier, err := tensor.SetGemmKernelTier(tensor.BitExactGemmTier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tensor.SetGemmKernelTier(prevTier)
+
+	refNet, shape, err := models.ServeTwin("mlp", tensor.NewRNG(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, _ := twinFleetFactory(t, "mlp", 99)
+	f, err := NewFleet(factory, FleetConfig{
+		Replicas: 4, MaxBatch: 8, MaxWait: time.Millisecond, QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if !f.SharedWeights() {
+		t.Fatal("graph-backed fleet did not share weights")
+	}
+
+	const nReq = 64
+	rng := tensor.NewRNG(7)
+	samples := make([]*tensor.Tensor, nReq)
+	want := make([][]float32, nReq)
+	for i := range samples {
+		samples[i] = tensor.RandNormal(rng, 0, 1, shape...)
+		out := refNet.Infer(samples[i].Reshape(append([]int{1}, shape...)...))
+		want[i] = append([]float32(nil), out.Data()...)
+	}
+
+	results := make([]Result, nReq)
+	errs := make([]error, nReq)
+	var wg sync.WaitGroup
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = f.Predict(samples[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < nReq; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if results[i].Replica < 0 || results[i].Replica >= 4 {
+			t.Fatalf("request %d served by out-of-range replica %d", i, results[i].Replica)
+		}
+		for j := range want[i] {
+			if results[i].Output[j] != want[i][j] {
+				t.Fatalf("request %d elem %d (replica %d): served %g, single-sample %g (must be bit-identical)",
+					i, j, results[i].Replica, results[i].Output[j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestFleetSharedWeightBytes: N sharing replicas must report the
+// resident weights of ONE model, not N.
+func TestFleetSharedWeightBytes(t *testing.T) {
+	factory, _ := twinFleetFactory(t, "mlp", 42)
+	single, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := single.WeightBytes()
+
+	f, err := NewFleet(factory, FleetConfig{Replicas: 4, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap := f.Stats()
+	if !snap.SharedWeights {
+		t.Fatal("fleet did not share weights")
+	}
+	if snap.WeightBytes != one {
+		t.Fatalf("4-replica shared fleet reports %d weight bytes, one model is %d", snap.WeightBytes, one)
+	}
+	if snap.Replicas != 4 || len(snap.PerReplica) != 4 {
+		t.Fatalf("snapshot replicas=%d per_replica=%d, want 4", snap.Replicas, len(snap.PerReplica))
+	}
+}
+
+// TestFleetRoutingSpreadsLoad: with every replica slow and single-file,
+// concurrent load must land on more than one replica (the queue-depth
+// signal steers the router off busy replicas).
+func TestFleetRoutingSpreadsLoad(t *testing.T) {
+	factory := func() (*Session, error) {
+		return NewSession(&slowModel{delay: 3 * time.Millisecond}, 4), nil
+	}
+	f, err := NewFleet(factory, FleetConfig{Replicas: 4, MaxBatch: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.SharedWeights() {
+		t.Fatal("slowModel cannot share weights; fleet must fall back")
+	}
+
+	const nReq = 48
+	var mu sync.Mutex
+	served := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := f.Predict(tensor.New(4))
+			if err != nil {
+				return // sheds are fine here; distribution is the point
+			}
+			mu.Lock()
+			served[res.Replica]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(served) < 2 {
+		t.Fatalf("all requests landed on %d replica(s): %v", len(served), served)
+	}
+}
+
+// TestFleetDeadlineAdmission pins the two shed outcomes apart:
+//   - ErrOverloaded when a feasible replica's queue is full (429-class);
+//   - ErrDeadline when the budget is infeasible on every replica
+//     (503-class), counted separately in the fleet snapshot.
+func TestFleetDeadlineAdmission(t *testing.T) {
+	const delay = 10 * time.Millisecond
+	factory := func() (*Session, error) {
+		return NewSession(&slowModel{delay: delay}, 4), nil
+	}
+	f, err := NewFleet(factory, FleetConfig{Replicas: 1, MaxBatch: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Warm the batch-time signal so feasibility checks have a real
+	// estimate to work with.
+	for i := 0; i < 3; i++ {
+		if _, err := f.Predict(tensor.New(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Saturate the single replica: one in flight plus a full queue.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_, _ = f.Predict(tensor.New(4))
+				}
+			}
+		}()
+	}
+	time.Sleep(delay) // let the pipeline fill
+
+	deadline := time.Now().Add(time.Second)
+	var sawDeadline, sawOverload bool
+	for time.Now().Before(deadline) && !(sawDeadline && sawOverload) {
+		// Infeasible budget: queue wait alone is several forwards deep.
+		if _, err := f.PredictSLO(tensor.New(4), 2*time.Millisecond); errors.Is(err, ErrDeadline) {
+			sawDeadline = true
+		}
+		// No budget: the only shed reason left is a full queue.
+		if _, err := f.PredictSLO(tensor.New(4), 0); errors.Is(err, ErrOverloaded) {
+			sawOverload = true
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if !sawDeadline {
+		t.Fatal("no infeasible-budget request was shed with ErrDeadline")
+	}
+	if !sawOverload {
+		t.Fatal("no budget-free request was shed with ErrOverloaded")
+	}
+	snap := f.Stats()
+	if snap.RejectedDeadline == 0 {
+		t.Fatal("RejectedDeadline not counted")
+	}
+	if snap.RejectedOverload == 0 {
+		t.Fatal("RejectedOverload not counted")
+	}
+}
+
+// TestFleetDeadlineExpiresInQueue: a request admitted against a cold
+// estimate but expired by dequeue time is shed there — the forward pass
+// is not wasted on a result nobody can use.
+func TestFleetDeadlineExpiresInQueue(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	factory := func() (*Session, error) {
+		return NewSession(&slowModel{delay: delay}, 4), nil
+	}
+	// Cold fleet: no batch-time signal yet, so admission lets the tight
+	// budget through and the dequeue-time check has to catch it.
+	f, err := NewFleet(factory, FleetConfig{Replicas: 1, MaxBatch: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupies the replica for ~delay
+		defer wg.Done()
+		_, _ = f.Predict(tensor.New(4))
+	}()
+	time.Sleep(2 * time.Millisecond) // ensure the blocker is in flight
+	_, err = f.PredictSLO(tensor.New(4), 5*time.Millisecond)
+	wg.Wait()
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued-past-deadline request got %v, want ErrDeadline", err)
+	}
+	snap := f.Stats()
+	if snap.RejectedDeadline == 0 {
+		t.Fatal("dequeue-time shed not counted in RejectedDeadline")
+	}
+}
+
+// TestFleetOverloadPhaseSLO is the end-to-end control story: an
+// open-loop Poisson schedule drives the fleet into a scripted overload
+// phase; the router sheds what cannot meet the SLO and the latency of
+// what it admits stays bounded near the SLO instead of following the
+// unbounded open-loop backlog.
+func TestFleetOverloadPhaseSLO(t *testing.T) {
+	const slo = 50 * time.Millisecond
+	factory := func() (*Session, error) {
+		return NewSession(&slowModel{delay: 2 * time.Millisecond}, 4), nil
+	}
+	// QueueDepth deliberately deeper than the SLO's feasible backlog
+	// (~25 requests at 2ms each): overload must be shed by the deadline
+	// check, not by running out of queue slots.
+	f, err := NewFleet(factory, FleetConfig{
+		Replicas: 2, MaxBatch: 1, QueueDepth: 64, SLO: slo,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	x := tensor.New(4)
+	res := OpenLoadGen{
+		Phases: []Phase{
+			{Rate: 200, Duration: 200 * time.Millisecond},  // under capacity (~1000/s)
+			{Rate: 5000, Duration: 200 * time.Millisecond}, // 5x overload
+			{Rate: 200, Duration: 200 * time.Millisecond},  // recovery
+		},
+		Poisson: true,
+		Workers: 64,
+		Seed:    3,
+	}.Run(func() error {
+		_, err := f.Predict(x)
+		return err
+	})
+
+	if res.Offered == 0 || res.OK == 0 {
+		t.Fatalf("degenerate run: offered=%d ok=%d", res.Offered, res.OK)
+	}
+	if res.Phases[1].Shed == 0 {
+		t.Fatal("overload phase shed nothing; admission control did not engage")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d non-shed errors under overload", res.Errors)
+	}
+	snap := f.Stats()
+	if snap.RejectedDeadline == 0 {
+		t.Fatal("no SLO sheds counted during overload")
+	}
+	if snap.Failed != 0 {
+		t.Fatalf("%d failed requests", snap.Failed)
+	}
+	// Admitted-request latency (service-side) stays near the SLO: every
+	// completed request was dequeued before its deadline, so residence is
+	// bounded by SLO + one forward (+ scheduler noise; 3x headroom).
+	if snap.LatencyP99Ms > 3*float64(slo.Milliseconds()) {
+		t.Fatalf("admitted p99 %.1fms blew through SLO %v despite deadline admission", snap.LatencyP99Ms, slo)
+	}
+}
+
+// TestFleetStatsAggregate: counters across replicas add up and the
+// aggregate matches what clients observed.
+func TestFleetStatsAggregate(t *testing.T) {
+	factory := func() (*Session, error) {
+		return NewSession(identityModel{}, 4), nil
+	}
+	f, err := NewFleet(factory, FleetConfig{
+		Replicas: 3, MaxBatch: 8, MaxWait: 500 * time.Microsecond, QueueDepth: 64, TraceEvents: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const nReq = 90
+	var wg sync.WaitGroup
+	var okCount atomic.Uint64
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := f.Predict(tensor.New(4)); err == nil {
+				okCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := f.Stats()
+	if snap.Completed != okCount.Load() {
+		t.Fatalf("aggregate completed=%d, clients saw %d", snap.Completed, okCount.Load())
+	}
+	var perAccepted, perCompleted uint64
+	for _, rs := range snap.PerReplica {
+		perAccepted += rs.Accepted
+		perCompleted += rs.Completed
+	}
+	if perAccepted != snap.Accepted || perCompleted != snap.Completed {
+		t.Fatalf("per-replica sums (acc=%d comp=%d) disagree with aggregate (acc=%d comp=%d)",
+			perAccepted, perCompleted, snap.Accepted, snap.Completed)
+	}
+	if snap.LatencyP50Ms <= 0 {
+		t.Fatal("aggregate latency quantiles empty")
+	}
+	if h := f.LatencyHistogram(); h.Count() != snap.Completed {
+		t.Fatalf("fleet latency histogram count=%d, want %d", h.Count(), snap.Completed)
+	}
+	tl := f.Timeline()
+	if len(tl.Events) == 0 {
+		t.Fatal("no fleet trace events captured")
+	}
+	seen := map[string]bool{}
+	for _, e := range tl.Events {
+		seen[e.Name[:len("serve.rX")]] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("trace events name only %d replica(s): %v", len(seen), seen)
+	}
+}
+
+// TestFleetGracefulDrain: the shutdown contract at fleet scale — every
+// admitted request completes, late arrivals get ErrShuttingDown, and all
+// runner goroutines exit.
+func TestFleetGracefulDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	factory := func() (*Session, error) {
+		return NewSession(&slowModel{delay: 2 * time.Millisecond}, 4), nil
+	}
+	f, err := NewFleet(factory, FleetConfig{
+		Replicas: 4, MaxBatch: 4, MaxWait: time.Millisecond, QueueDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nReq = 48
+	var wg sync.WaitGroup
+	errc := make(chan error, nReq)
+	for i := 0; i < nReq; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := f.Predict(tensor.New(4))
+			errc <- err
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	f.Close()
+	wg.Wait()
+	close(errc)
+
+	var served, refused int
+	for err := range errc {
+		switch {
+		case err == nil:
+			served++
+		case errors.Is(err, ErrShuttingDown), errors.Is(err, ErrOverloaded):
+			refused++
+		default:
+			t.Fatalf("unexpected error during drain: %v", err)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no admitted request drained to completion")
+	}
+	if _, err := f.Predict(tensor.New(4)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("Predict after Close = %v, want ErrShuttingDown", err)
+	}
+	f.Close() // idempotent
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after drain", before, g)
+	}
+}
+
+// TestFleetConfigValidation: nil factories and shape-drifting factories
+// are refused at construction.
+func TestFleetConfigValidation(t *testing.T) {
+	if _, err := NewFleet(nil, FleetConfig{}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	calls := 0
+	drifting := func() (*Session, error) {
+		calls++
+		return NewSession(identityModel{}, 4+calls), nil // different shape every call
+	}
+	if _, err := NewFleet(drifting, FleetConfig{Replicas: 2}); err == nil {
+		t.Fatal("shape-drifting factory accepted")
+	}
+	failing := func() (*Session, error) { return nil, fmt.Errorf("no weights on disk") }
+	if _, err := NewFleet(failing, FleetConfig{Replicas: 2}); err == nil {
+		t.Fatal("failing factory accepted")
+	}
+}

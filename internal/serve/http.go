@@ -13,6 +13,10 @@ import (
 // row-major order (the daemon publishes the expected shape on /healthz).
 type PredictRequest struct {
 	Input []float32 `json:"input"`
+	// SLOMs is this request's latency budget in milliseconds (fleet
+	// endpoints only; 0 inherits the fleet default). A request whose
+	// budget cannot be met is shed with 503.
+	SLOMs float64 `json:"slo_ms,omitempty"`
 }
 
 // PredictResponse is the JSON reply to POST /predict.
@@ -20,6 +24,9 @@ type PredictResponse struct {
 	Output    []float32 `json:"output"`
 	LatencyMs float64   `json:"latency_ms"`
 	BatchSize int       `json:"batch_size"`
+	// Replica is the fleet replica that served the request (always 0 for
+	// a single-Service handler).
+	Replica int `json:"replica"`
 }
 
 // NewHandler exposes a Service over HTTP/JSON:

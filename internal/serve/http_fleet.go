@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"tbd/internal/prof"
+	"tbd/internal/tensor"
+)
+
+// FleetHandlerOptions wires the endpoints that need capabilities beyond
+// the fleet itself.
+type FleetHandlerOptions struct {
+	// Swap handles a POST /swap body (typically: decode a checkpoint
+	// stream and load it into the fleet via Fleet.Swap with
+	// graph.LoadCheckpoint on Session.Model). nil leaves /swap
+	// unregistered.
+	Swap func(body io.Reader) error
+}
+
+// SwapResponse is the JSON reply to POST /swap.
+type SwapResponse struct {
+	Status     string  `json:"status"`
+	Swaps      uint64  `json:"swaps"`
+	LastSwapMs float64 `json:"last_swap_ms"`
+}
+
+// NewFleetHandler exposes a Fleet over HTTP/JSON:
+//
+//	POST /predict     {"input": [...], "slo_ms": b}  -> PredictResponse (+replica)
+//	GET  /stats       -> FleetSnapshot JSON (aggregate + per-replica)
+//	GET  /healthz     -> {"status": "ok", "sample_shape": [...], "replicas": n}
+//	GET  /debug/prof  -> live profiler snapshot
+//	POST /swap        -> zero-downtime weight hot-swap (when opts.Swap is set)
+//
+// Shed outcomes are deliberately distinct on the wire: queue-full sheds
+// are 429 Too Many Requests (the client may retry immediately), while
+// SLO-infeasible sheds and drain are 503 Service Unavailable (the client
+// should back off).
+func NewFleetHandler(f *Fleet, opts FleetHandlerOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req PredictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		primary := f.replicas[0].sess.Load()
+		if len(req.Input) != primary.SampleLen() {
+			http.Error(w, "wrong sample size", http.StatusBadRequest)
+			return
+		}
+		if req.SLOMs < 0 {
+			http.Error(w, "negative slo_ms", http.StatusBadRequest)
+			return
+		}
+		budget := f.cfg.SLO
+		if req.SLOMs > 0 {
+			budget = time.Duration(req.SLOMs * float64(time.Millisecond))
+		}
+		x := tensor.FromSlice(req.Input, primary.SampleShape()...)
+		res, err := f.PredictSLO(x, budget)
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrDeadline), errors.Is(err, ErrShuttingDown):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, PredictResponse{
+			Output:    res.Output,
+			LatencyMs: 1e3 * res.Latency.Seconds(),
+			BatchSize: res.BatchSize,
+			Replica:   res.Replica,
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, f.Stats())
+	})
+	mux.HandleFunc("/debug/prof", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, prof.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Status      string `json:"status"`
+			SampleShape []int  `json:"sample_shape"`
+			Replicas    int    `json:"replicas"`
+		}{"ok", f.replicas[0].sess.Load().SampleShape(), len(f.replicas)})
+	})
+	if opts.Swap != nil {
+		mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			if err := opts.Swap(r.Body); err != nil {
+				if errors.Is(err, ErrShuttingDown) {
+					http.Error(w, err.Error(), http.StatusServiceUnavailable)
+					return
+				}
+				// The old weights keep serving; the swap simply did not
+				// happen.
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			snap := f.Stats()
+			writeJSON(w, SwapResponse{Status: "ok", Swaps: snap.Swaps, LastSwapMs: snap.LastSwapMs})
+		})
+	}
+	return mux
+}

@@ -71,6 +71,23 @@ func NewSession(m Model, sampleShape ...int) *Session {
 	}
 }
 
+// Model returns the session's underlying model (for checkpoint loaders
+// that need the concrete network behind a fleet replica).
+func (s *Session) Model() Model { return s.model }
+
+// ShareWeightsFrom repoints this session's model parameters at src's
+// backing storage, so the two sessions serve one weight snapshot (the
+// fleet's replica-sharing primitive; see graph.Network.ShareParamsFrom).
+// Returns ErrNoWeightSharing when the model does not expose the
+// capability — the fleet then falls back to per-replica weights.
+func (s *Session) ShareWeightsFrom(src *Session) error {
+	m, ok := s.model.(interface{ ShareParamsFrom(src any) error })
+	if !ok {
+		return ErrNoWeightSharing
+	}
+	return m.ShareParamsFrom(src.model)
+}
+
 // SampleShape returns the per-sample input shape (not a copy; do not
 // mutate).
 func (s *Session) SampleShape() []int { return s.sampleShape }

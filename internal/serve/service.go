@@ -55,6 +55,17 @@ var (
 	// ErrShuttingDown is returned for requests arriving after Close
 	// began; already-admitted requests still complete (graceful drain).
 	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrDeadline is returned when a request's SLO budget cannot be met:
+	// either the router judged every replica infeasible at admission, or
+	// the deadline had already passed when the request was dequeued.
+	// Distinct from ErrOverloaded so clients can tell "queue full, retry
+	// now elsewhere" (429-class) from "deadline infeasible, back off"
+	// (503-class).
+	ErrDeadline = errors.New("serve: SLO deadline infeasible, request shed")
+	// ErrNoWeightSharing is returned by Session.ShareWeightsFrom when the
+	// model does not implement ShareParamsFrom; a fleet then keeps
+	// per-replica weight copies instead of one shared snapshot.
+	ErrNoWeightSharing = errors.New("serve: model does not support weight sharing")
 )
 
 // Result is one completed request.
@@ -67,13 +78,20 @@ type Result struct {
 	Latency time.Duration
 	// BatchSize is the occupancy of the batch this request rode in.
 	BatchSize int
+	// Replica is the index of the fleet replica that served the request
+	// (always 0 for a standalone Service).
+	Replica int
 }
 
-// request is one queued unit of work.
+// request is one queued unit of work. The deadline and swap fields are
+// fleet-only extensions: a standalone Service leaves them zero and its
+// batcher ignores them.
 type request struct {
-	x    *tensor.Tensor
-	enq  time.Time
-	resp chan response
+	x        *tensor.Tensor
+	enq      time.Time
+	deadline time.Time  // zero means no SLO budget attached
+	swap     *swapOrder // non-nil marks a control message, not work
+	resp     chan response
 }
 
 type response struct {

@@ -18,6 +18,7 @@ type Stats struct {
 	accepted         uint64 // guarded by mu
 	rejectedOverload uint64 // guarded by mu
 	rejectedShutdown uint64 // guarded by mu
+	rejectedDeadline uint64 // admission- or dequeue-time SLO sheds; guarded by mu
 	completed        uint64 // guarded by mu
 	failed           uint64 // guarded by mu
 	batches          uint64 // guarded by mu
@@ -57,6 +58,12 @@ func (st *Stats) rejectShutdown() {
 	st.mu.Unlock()
 }
 
+func (st *Stats) rejectDeadline() {
+	st.mu.Lock()
+	st.rejectedDeadline++
+	st.mu.Unlock()
+}
+
 func (st *Stats) recordBatch(n int, forwardSec float64, latenciesSec []float64) {
 	st.mu.Lock()
 	st.completed += uint64(n)
@@ -82,6 +89,7 @@ type StatsSnapshot struct {
 	Accepted         uint64 `json:"accepted"`
 	RejectedOverload uint64 `json:"rejected_overload"`
 	RejectedShutdown uint64 `json:"rejected_shutdown"`
+	RejectedDeadline uint64 `json:"rejected_deadline,omitempty"`
 	Completed        uint64 `json:"completed"`
 	Failed           uint64 `json:"failed"`
 	Batches          uint64 `json:"batches"`
@@ -120,6 +128,7 @@ func (st *Stats) snapshot(start time.Time) StatsSnapshot {
 		Accepted:         st.accepted,
 		RejectedOverload: st.rejectedOverload,
 		RejectedShutdown: st.rejectedShutdown,
+		RejectedDeadline: st.rejectedDeadline,
 		Completed:        st.completed,
 		Failed:           st.failed,
 		Batches:          st.batches,
@@ -136,6 +145,47 @@ func (st *Stats) snapshot(start time.Time) StatsSnapshot {
 		snap.ThroughputRPS = float64(st.completed) / up
 	}
 	return snap
+}
+
+// aggregateStats merges several replicas' Stats into one detached Stats
+// whose snapshot spans the whole fleet: counters sum, histograms merge
+// bucket-wise (all replicas share one bucket layout, so fleet quantiles
+// are exact, not averages of quantiles).
+func aggregateStats(parts []*Stats) *Stats {
+	if len(parts) == 0 {
+		return newStats(1)
+	}
+	var agg *Stats
+	for _, p := range parts {
+		p.mu.Lock()
+		if agg == nil {
+			agg = &Stats{
+				accepted:         p.accepted,
+				rejectedOverload: p.rejectedOverload,
+				rejectedShutdown: p.rejectedShutdown,
+				rejectedDeadline: p.rejectedDeadline,
+				completed:        p.completed,
+				failed:           p.failed,
+				batches:          p.batches,
+				latency:          p.latency.Clone(),
+				batchTime:        p.batchTime.Clone(),
+				occupancy:        p.occupancy.Clone(),
+			}
+		} else {
+			agg.accepted += p.accepted
+			agg.rejectedOverload += p.rejectedOverload
+			agg.rejectedShutdown += p.rejectedShutdown
+			agg.rejectedDeadline += p.rejectedDeadline
+			agg.completed += p.completed
+			agg.failed += p.failed
+			agg.batches += p.batches
+			agg.latency.Merge(p.latency)
+			agg.batchTime.Merge(p.batchTime)
+			agg.occupancy.Merge(p.occupancy)
+		}
+		p.mu.Unlock()
+	}
+	return agg
 }
 
 // LatencyHistogram returns a copy of the request-latency histogram for

@@ -183,6 +183,24 @@ func (t *Tensor) Fill(v float32) {
 	}
 }
 
+// ShareStorage repoints t's backing array at src's, so every subsequent
+// read of t observes src's data without a copy. Shapes must match
+// exactly. This is the weight-sharing primitive behind replicated
+// serving: N per-replica networks alias one parameter snapshot, so the
+// fleet's resident weight bytes stay those of a single model. Pooled
+// tensors are refused on both sides — pool ownership assumes one backing
+// array per tensor, and aliasing would let a Release recycle storage the
+// other tensor still reads.
+func (t *Tensor) ShareStorage(src *Tensor) {
+	if !t.SameShape(src) {
+		panic(fmt.Sprintf("tensor: ShareStorage shape mismatch %v vs %v", t.shape, src.shape))
+	}
+	if t.pooled || src.pooled {
+		panic("tensor: ShareStorage on a pooled tensor")
+	}
+	t.data = src.data
+}
+
 // CopyFrom copies o's elements into t. Shapes must match.
 func (t *Tensor) CopyFrom(o *Tensor) {
 	if !t.SameShape(o) {
