@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet lint test race tier-race serve-race prof-race bench bench-serve bench-prof bench-all bench-compare bench-gate cover reproduce observations examples clean
+.PHONY: all check build vet lint test race tier-race serve-race prof-race dist-race bench bench-serve bench-prof bench-dist bench-all bench-compare bench-gate cover reproduce observations examples clean
 
 all: check
 
-check: build vet lint test race tier-race serve-race prof-race
+check: build vet lint test race tier-race serve-race prof-race dist-race
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,12 @@ serve-race:
 prof-race:
 	$(GO) test -race ./internal/prof/... ./internal/trace/... ./internal/memprof/... ./internal/metrics/...
 
+# Race detector over the distributed runtime (ring all-reduce, parameter
+# server, throttled transport, coordinator) and the CLI package, whose
+# dist tests spawn real worker OS processes over localhost TCP.
+dist-race:
+	$(GO) test -race ./internal/dist/... ./cmd/tbd/
+
 # Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
 # machine-readable for regression tracking.
 bench:
@@ -60,6 +66,12 @@ bench-serve:
 # allocs/op) and full twin step with the profiler off vs on.
 bench-prof:
 	$(GO) test -run '^$$' -bench 'Prof' -benchtime 2s -benchmem -json . > BENCH_prof.json
+
+# Distributed-training scaling matrix: workers x strategy x compression
+# x throttled bandwidth, each cell a full coordinated run over real TCP.
+# One iteration per cell — the throttled links make timings repeatable.
+bench-dist:
+	$(GO) test -run '^$$' -bench 'Dist' -benchtime 1x -benchmem -json . > BENCH_dist.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_prof.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
 bench-all:
@@ -72,6 +84,7 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare
 	$(GO) run ./cmd/benchcompare -suite serve
 	$(GO) run ./cmd/benchcompare -suite prof
+	$(GO) run ./cmd/benchcompare -suite dist -benchtime 1x
 
 # Noise-aware regression gate: re-run the tracked suites and exit nonzero
 # when any benchmark slows down (ns/op) or loses throughput by more than
@@ -81,6 +94,7 @@ bench-gate:
 	$(GO) run ./cmd/benchcompare -tol 0.20
 	$(GO) run ./cmd/benchcompare -suite serve -tol 0.40
 	$(GO) run ./cmd/benchcompare -suite prof -tol 0.40
+	$(GO) run ./cmd/benchcompare -suite dist -benchtime 1x -tol 0.40
 
 cover:
 	$(GO) test -cover ./...

@@ -2,7 +2,7 @@
 // old-vs-new deltas against a committed `go test -json` baseline.
 // Plain stdlib only.
 //
-// Three suites are tracked:
+// Four suites are tracked:
 //
 //	-suite numeric   numeric-backend micro-benchmarks vs BENCH_numeric.json
 //	                 (the default; baseline from `make bench`)
@@ -10,10 +10,13 @@
 //	                 (baseline from `make bench-serve`)
 //	-suite prof      live-profiler overhead benchmarks vs BENCH_prof.json
 //	                 (baseline from `make bench-prof`)
+//	-suite dist      distributed-training scaling matrix vs BENCH_dist.json
+//	                 (baseline from `make bench-dist`; use -benchtime 1x —
+//	                 each cell is a full multi-worker run over throttled TCP)
 //
 // Usage:
 //
-//	go run ./cmd/benchcompare [-suite numeric|serve|prof] [-benchtime 1s]
+//	go run ./cmd/benchcompare [-suite numeric|serve|prof|dist] [-benchtime 1s]
 //	go run ./cmd/benchcompare -old file.json -bench regexp   # explicit override
 //	go run ./cmd/benchcompare -new other.json                # compare two saved files
 //	go run ./cmd/benchcompare -tol 0.2                       # CI gate: exit 1 on regression
@@ -165,10 +168,11 @@ var suites = map[string]struct{ oldPath, pattern string }{
 	"numeric": {"BENCH_numeric.json", "GEMM|ConvFwdBwd|TwinStep|DenseFused|OptimStep"},
 	"serve":   {"BENCH_serve.json", "Serve|Fleet"},
 	"prof":    {"BENCH_prof.json", "Prof"},
+	"dist":    {"BENCH_dist.json", "Dist"},
 }
 
 func main() {
-	suite := flag.String("suite", "numeric", "tracked `suite` to compare (numeric, serve, or prof)")
+	suite := flag.String("suite", "numeric", "tracked `suite` to compare (numeric, serve, prof, or dist)")
 	oldPath := flag.String("old", "", "baseline `file` (go test -json stream; default from -suite)")
 	newPath := flag.String("new", "", "compare this saved `file` instead of re-running benchmarks")
 	pattern := flag.String("bench", "", "benchmark `regexp` to run (default from -suite)")
@@ -182,7 +186,7 @@ func main() {
 
 	defaults, ok := suites[*suite]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchcompare: unknown suite %q (have numeric, serve, prof)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchcompare: unknown suite %q (have numeric, serve, prof, dist)\n", *suite)
 		os.Exit(1)
 	}
 	if *oldPath == "" {

@@ -56,6 +56,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "twin":
 		err = cmdTwin(os.Args[2:])
+	case "dist":
+		err = cmdDist(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "observations":
@@ -91,6 +93,9 @@ Commands:
   trace           export an nvprof-style kernel timeline (-model, -framework, -batch, -json)
   twin            train a benchmark's numeric twin for real (-model, -steps, -seed)
                   flags: -profile, -prof-top N, -prof-json, -trace-out FILE
+  dist            real multi-process distributed training over TCP
+                  flags: -workers N, -strategy ring|ps-sync|ps-async, -model mlp|mlp-wide|cnn,
+                         -steps, -batch, -seed, -lr, -compress full|fp16|int8, -bw MB/s, -staleness
   analyze         full Figure-3 pipeline report for one config (-model, -framework, -batch)
   observations    check the paper's Observations 1-13`)
 }

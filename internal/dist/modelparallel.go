@@ -147,7 +147,12 @@ func (p *StagePipeline) ForwardPipelined(micro []*tensor.Tensor) []*tensor.Tenso
 		go func(s int, layer layers.Layer) {
 			defer wg.Done()
 			for x := range chans[s] {
-				chans[s+1] <- layer.Forward(x, false)
+				// Detach the output from the pool before handing it
+				// downstream: layers recycle their previous output buffer
+				// on the next Forward call, which is safe sequentially but
+				// a use-after-release once the next micro-batch enters this
+				// stage while the downstream stage still reads this one.
+				chans[s+1] <- layer.Forward(x, false).Clone()
 			}
 			close(chans[s+1])
 		}(s, layer)

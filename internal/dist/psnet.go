@@ -8,6 +8,7 @@ import (
 
 	"tbd/internal/layers"
 	"tbd/internal/optim"
+	"tbd/internal/prof"
 	"tbd/internal/tensor"
 )
 
@@ -15,20 +16,33 @@ import (
 // data-parallel scheme of §2.2/§4.5 (Li et al.): workers pull the current
 // weights, compute gradients on their shard, and push them back; the
 // server averages one push per worker, applies the optimizer, and
-// releases the next round. Training is fully synchronous, so N workers
-// over the network are numerically identical to one big-batch replica —
-// the property the cluster performance model assumes and the tests
-// verify end-to-end over real sockets.
+// releases the next round. Ranked pushes are buffered per worker and
+// reduced in rank order, so a synchronous N-worker run is not only
+// numerically equivalent to one big-batch replica but reproducible
+// bit-for-bit run to run — the same determinism discipline the ring
+// all-reduce keeps via its fixed hop order.
 
 // psRequest is one worker->server message.
 type psRequest struct {
-	// Kind is "pull", "push", or "push16" (half-precision gradients).
+	// Kind is "pull", "push", "push16" (fp16 gradients), or "push8"
+	// (int8-quantized gradients).
 	Kind  string
 	Grads [][]float32
 	// HalfGrads carries fp16-compressed gradients for "push16" — half
 	// the wire bytes of a full-precision push (§4.5: reduce the data
 	// sent).
 	HalfGrads [][]uint16
+	// Int8Grads and Scales carry linearly quantized gradients for
+	// "push8" (one byte per scalar plus a per-tensor scale). The client
+	// keeps the quantization error as an error-feedback residual.
+	Int8Grads [][]byte
+	Scales    []float32
+	// Ranked pushes identify the sending worker; the server buffers one
+	// push per rank and reduces them in rank order, making synchronous
+	// rounds deterministic. Unranked pushes (Ranked false) accumulate in
+	// arrival order, the legacy behavior.
+	Ranked bool
+	Rank   int
 }
 
 // psResponse is one server->worker message.
@@ -47,43 +61,93 @@ type PSServer struct {
 	// synchronous round — the A3C-style update discipline (Hogwild over
 	// the network). Workers may then train on slightly stale weights.
 	async bool
+	// staleness bounds how far a worker may run ahead of the slowest
+	// worker in async mode (SSP, Ho et al.): a ranked push blocks while
+	// clock(rank) - min(clocks) exceeds it. Negative = unbounded.
+	staleness int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending [][]float32
-	pushes  int
-	version int
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   [][]float32           // unranked accumulation; guarded by mu
+	rankGrads [][][]float32         // ranked round buffer [rank][tensor]; guarded by mu
+	rankSeen  int                   // distinct ranked pushes buffered; guarded by mu
+	pushes    int                   // unranked pushes this round; guarded by mu
+	version   int                   // applied update rounds; guarded by mu
+	clocks    []int                 // per-rank applied pushes (bounded async); guarded by mu
+	conns     map[net.Conn]struct{} // live connections, closed on shutdown; guarded by mu
+	linkIn    *tokenBucket          // shared ingress budget for accepted conns; guarded by mu
+	linkOut   *tokenBucket          // shared egress budget for accepted conns; guarded by mu
+	closed    bool                  // guarded by mu
 
 	listener net.Listener
 	wg       sync.WaitGroup
-	closed   bool
 }
 
 // ServePS starts a parameter server on l managing params with opt,
 // expecting one gradient push per round from each of workers clients.
-// It returns immediately; Close shuts it down.
+// It returns immediately; Close shuts it down. The guarded fields are
+// initialized before the accept loop (the first other goroutine)
+// starts, so construction needs no lock.
+//
+//tbd:locked-by-caller
 func ServePS(l net.Listener, params []*layers.Param, opt optim.Optimizer, workers int) *PSServer {
 	if workers <= 0 {
 		panic("dist: parameter server needs at least one worker")
 	}
-	s := &PSServer{params: params, opt: opt, workers: workers, listener: l}
+	s := &PSServer{
+		params:    params,
+		opt:       opt,
+		workers:   workers,
+		staleness: -1,
+		listener:  l,
+		conns:     make(map[net.Conn]struct{}),
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.pending = make([][]float32, len(params))
 	for i, p := range params {
 		s.pending[i] = make([]float32, p.Value.Numel())
 	}
+	s.rankGrads = make([][][]float32, workers)
+	s.clocks = make([]int, workers)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
 }
 
 // ServeAsyncPS starts an asynchronous parameter server: every push is
-// applied immediately with no round barrier, the update discipline the
-// paper's A3C benchmark uses. workers is advisory only.
+// applied immediately with no round barrier and no staleness bound, the
+// update discipline the paper's A3C benchmark uses.
 func ServeAsyncPS(l net.Listener, params []*layers.Param, opt optim.Optimizer) *PSServer {
 	s := ServePS(l, params, opt, 1)
 	s.async = true
 	return s
+}
+
+// ServeBoundedAsyncPS starts an asynchronous parameter server with a
+// staleness bound: pushes apply immediately, but a ranked worker whose
+// clock runs more than staleness rounds ahead of the slowest worker
+// blocks until the stragglers catch up (stale synchronous parallel).
+// staleness 0 degenerates to a synchronous barrier; large values
+// approach fully async.
+func ServeBoundedAsyncPS(l net.Listener, params []*layers.Param, opt optim.Optimizer, workers, staleness int) *PSServer {
+	if staleness < 0 {
+		panic("dist: bounded-async staleness must be >= 0")
+	}
+	s := ServePS(l, params, opt, workers)
+	s.async = true
+	s.staleness = staleness
+	return s
+}
+
+// ThrottleLink clamps the server's NIC to bytesPerSec per direction,
+// shared across ALL accepted connections — the central-bottleneck model
+// that makes N-worker parameter-server scaling honest. Call before
+// workers dial; a rate <= 0 leaves the link unthrottled.
+func (s *PSServer) ThrottleLink(bytesPerSec float64) {
+	in, out := NewSharedLink(bytesPerSec)
+	s.mu.Lock()
+	s.linkIn, s.linkOut = in, out
+	s.mu.Unlock()
 }
 
 // Addr returns the listen address.
@@ -96,13 +160,26 @@ func (s *PSServer) Version() int {
 	return s.version
 }
 
-// Close stops accepting connections and wakes any blocked pushes.
+// Close stops the accept loop, unblocks every in-flight pull and push
+// handler by closing the live connections, and waits for all handler
+// goroutines to exit. It is safe to call with workers mid-round: blocked
+// pushers observe closed and return an error response before their
+// connection drops.
 func (s *PSServer) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	s.cond.Broadcast()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.listener.Close()
+	// Closing the connections unblocks handlers parked in dec.Decode —
+	// without this, Close would hang until every client hung up.
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return err
 }
@@ -114,11 +191,25 @@ func (s *PSServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		in, out := s.linkIn, s.linkOut
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
-			s.serveConn(conn)
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(ThrottleShared(conn, in, out))
 		}()
 	}
 }
@@ -135,14 +226,15 @@ func (s *PSServer) serveConn(conn net.Conn) {
 		switch req.Kind {
 		case "pull":
 			resp = s.handlePull()
-		case "push":
-			resp = s.handlePush(req.Grads)
-		case "push16":
-			grads := make([][]float32, len(req.HalfGrads))
-			for i, hg := range req.HalfGrads {
-				grads[i] = tensor.DecodeHalf(hg)
+		case "push", "push16", "push8":
+			grads, err := s.decodeGrads(&req)
+			if err != nil {
+				resp = psResponse{Err: err.Error()}
+			} else if req.Ranked {
+				resp = s.handleRankedPush(req.Rank, grads)
+			} else {
+				resp = s.handlePush(grads)
 			}
-			resp = s.handlePush(grads)
 		default:
 			resp = psResponse{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
 		}
@@ -150,6 +242,31 @@ func (s *PSServer) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// decodeGrads expands a push payload to full-precision per-tensor slices.
+func (s *PSServer) decodeGrads(req *psRequest) ([][]float32, error) {
+	switch req.Kind {
+	case "push":
+		return req.Grads, nil
+	case "push16":
+		grads := make([][]float32, len(req.HalfGrads))
+		for i, hg := range req.HalfGrads {
+			grads[i] = tensor.DecodeHalf(hg)
+		}
+		return grads, nil
+	case "push8":
+		if len(req.Scales) != len(req.Int8Grads) {
+			return nil, fmt.Errorf("push8 with %d scales for %d tensors", len(req.Scales), len(req.Int8Grads))
+		}
+		grads := make([][]float32, len(req.Int8Grads))
+		for i, q := range req.Int8Grads {
+			grads[i] = make([]float32, len(q))
+			DequantInt8Slice(req.Scales[i], q, grads[i])
+		}
+		return grads, nil
+	}
+	return nil, fmt.Errorf("not a push kind %q", req.Kind)
 }
 
 func (s *PSServer) handlePull() psResponse {
@@ -167,50 +284,63 @@ func (s *PSServer) snapshotLocked() [][]float32 {
 	return out
 }
 
-func (s *PSServer) handlePush(grads [][]float32) psResponse {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// checkShapeLocked validates one push payload against the parameters.
+//
+//tbd:locked-by-caller
+func (s *PSServer) checkShapeLocked(grads [][]float32) string {
 	if len(grads) != len(s.params) {
-		return psResponse{Err: fmt.Sprintf("push with %d tensors, want %d", len(grads), len(s.params))}
+		return fmt.Sprintf("push with %d tensors, want %d", len(grads), len(s.params))
 	}
 	for i, g := range grads {
 		if len(g) != len(s.pending[i]) {
-			return psResponse{Err: fmt.Sprintf("tensor %d has %d elements, want %d", i, len(g), len(s.pending[i]))}
+			return fmt.Sprintf("tensor %d has %d elements, want %d", i, len(g), len(s.pending[i]))
 		}
+	}
+	return ""
+}
+
+// applyLocked loads avg-ready gradient sums scaled by inv into the
+// parameter gradients and steps the optimizer.
+//
+//tbd:locked-by-caller
+func (s *PSServer) applyLocked(sum [][]float32, inv float32) {
+	for i, p := range s.params {
+		dst := p.Grad.Data()
+		for j, v := range sum[i] {
+			dst[j] = v * inv
+		}
+	}
+	s.opt.Step(s.params)
+	optim.ZeroGrads(s.params)
+	s.version++
+}
+
+func (s *PSServer) handlePush(grads [][]float32) psResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if msg := s.checkShapeLocked(grads); msg != "" {
+		return psResponse{Err: msg}
+	}
+	for i, g := range grads {
 		for j, v := range g {
 			s.pending[i][j] += v
 		}
 	}
 	if s.async {
-		// Apply immediately; no barrier, no averaging across workers.
-		for i, p := range s.params {
-			dst := p.Grad.Data()
-			for j, v := range s.pending[i] {
-				dst[j] = v
-				s.pending[i][j] = 0
-			}
+		s.applyLocked(s.pending, 1)
+		for i := range s.pending {
+			clearF32(s.pending[i])
 		}
-		s.opt.Step(s.params)
-		optim.ZeroGrads(s.params)
-		s.version++
 		return psResponse{Weights: s.snapshotLocked(), Version: s.version}
 	}
 	s.pushes++
 	round := s.version
 	if s.pushes == s.workers {
-		// Average, apply, and release the round.
-		inv := 1 / float32(s.workers)
-		for i, p := range s.params {
-			dst := p.Grad.Data()
-			for j, v := range s.pending[i] {
-				dst[j] = v * inv
-				s.pending[i][j] = 0
-			}
+		s.applyLocked(s.pending, 1/float32(s.workers))
+		for i := range s.pending {
+			clearF32(s.pending[i])
 		}
-		s.opt.Step(s.params)
-		optim.ZeroGrads(s.params)
 		s.pushes = 0
-		s.version++
 		s.cond.Broadcast()
 	} else {
 		for s.version == round && !s.closed {
@@ -223,33 +353,150 @@ func (s *PSServer) handlePush(grads [][]float32) psResponse {
 	return psResponse{Weights: s.snapshotLocked(), Version: s.version}
 }
 
+// handleRankedPush is the deterministic path: one buffered push per rank,
+// reduced in rank order when the round completes (sync) or applied
+// immediately under the staleness bound (bounded async).
+func (s *PSServer) handleRankedPush(rank int, grads [][]float32) psResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rank < 0 || rank >= s.workers {
+		return psResponse{Err: fmt.Sprintf("rank %d outside [0, %d)", rank, s.workers)}
+	}
+	if msg := s.checkShapeLocked(grads); msg != "" {
+		return psResponse{Err: msg}
+	}
+
+	if s.async {
+		// Apply this worker's contribution immediately, then hold the
+		// worker while it is more than `staleness` rounds ahead of the
+		// slowest clock.
+		for i, g := range grads {
+			copy(s.pending[i], g)
+		}
+		s.applyLocked(s.pending, 1)
+		for i := range s.pending {
+			clearF32(s.pending[i])
+		}
+		s.clocks[rank]++
+		s.cond.Broadcast()
+		if s.staleness >= 0 {
+			for s.clocks[rank]-minInt(s.clocks) > s.staleness && !s.closed {
+				s.cond.Wait()
+			}
+			if s.closed {
+				return psResponse{Err: "server closed"}
+			}
+		}
+		return psResponse{Weights: s.snapshotLocked(), Version: s.version}
+	}
+
+	if s.rankGrads[rank] != nil {
+		return psResponse{Err: fmt.Sprintf("rank %d pushed twice in one round", rank)}
+	}
+	bufs := make([][]float32, len(grads))
+	for i, g := range grads {
+		bufs[i] = append([]float32(nil), g...)
+	}
+	s.rankGrads[rank] = bufs
+	s.rankSeen++
+	round := s.version
+	if s.rankSeen == s.workers {
+		// Reduce in rank order 0..N-1: the accumulation order no longer
+		// depends on network arrival, so repeated runs are bit-identical.
+		for i := range s.pending {
+			sum := s.pending[i]
+			clearF32(sum)
+			for r := 0; r < s.workers; r++ {
+				for j, v := range s.rankGrads[r][i] {
+					sum[j] += v
+				}
+			}
+		}
+		s.applyLocked(s.pending, 1/float32(s.workers))
+		for i := range s.pending {
+			clearF32(s.pending[i])
+		}
+		for r := range s.rankGrads {
+			s.rankGrads[r] = nil
+		}
+		s.rankSeen = 0
+		s.cond.Broadcast()
+	} else {
+		for s.version == round && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return psResponse{Err: "server closed"}
+		}
+	}
+	return psResponse{Weights: s.snapshotLocked(), Version: s.version}
+}
+
+func clearF32(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
 // PSClient is a worker's connection to the parameter server.
 type PSClient struct {
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+	conn  net.Conn
+	count *countingConn
+	dec   *gob.Decoder
+	enc   *gob.Encoder
+	quant *Int8Quantizer // error-feedback state for int8 pushes
+	offs  []int          // flat-stream offset of each tensor for the quantizer
 }
 
 // DialPS connects a worker to the server at addr.
 func DialPS(addr string) (*PSClient, error) {
+	return DialPSThrottled(addr, 0)
+}
+
+// DialPSThrottled connects a worker to the server at addr over a link
+// clamped to bytesPerSec per direction (0 = unthrottled). The client
+// counts wire bytes either way.
+func DialPSThrottled(addr string, bytesPerSec float64) (*PSClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: dial parameter server: %w", err)
 	}
-	return &PSClient{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+	count := newCountingConn(conn)
+	wire := Throttle(count, bytesPerSec)
+	return &PSClient{conn: conn, count: count, dec: gob.NewDecoder(wire), enc: gob.NewEncoder(wire)}, nil
 }
 
 // Close terminates the connection.
 func (c *PSClient) Close() error { return c.conn.Close() }
 
+// WireBytes returns cumulative (in, out) wire bytes this client moved.
+func (c *PSClient) WireBytes() (in, out int64) { return c.count.Bytes() }
+
 func (c *PSClient) roundTrip(req psRequest) (psResponse, error) {
+	in0, out0 := c.count.Bytes()
+	sp := prof.Begin(prof.CatComm, "comm.ps.roundtrip")
 	if err := c.enc.Encode(&req); err != nil {
+		sp.End()
 		return psResponse{}, fmt.Errorf("dist: send %s: %w", req.Kind, err)
 	}
 	var resp psResponse
 	if err := c.dec.Decode(&resp); err != nil {
+		sp.End()
 		return psResponse{}, fmt.Errorf("dist: receive %s reply: %w", req.Kind, err)
 	}
+	in1, out1 := c.count.Bytes()
+	sp.SetBytes((in1 - in0) + (out1 - out0))
+	sp.End()
 	if resp.Err != "" {
 		return psResponse{}, fmt.Errorf("dist: server: %s", resp.Err)
 	}
@@ -273,12 +520,54 @@ func (c *PSClient) Push(grads [][]float32) ([][]float32, int, error) {
 // server expands them before aggregation). Weights still return in full
 // precision.
 func (c *PSClient) PushHalf(grads [][]float32) ([][]float32, int, error) {
+	resp, err := c.roundTrip(c.encodeHalf(grads, false, 0))
+	return resp.Weights, resp.Version, err
+}
+
+// PushRanked submits gradients tagged with this worker's rank under the
+// given compression. Ranked pushes make synchronous rounds deterministic
+// and enable the bounded-staleness clock in async mode. Int8 pushes keep
+// an error-feedback residual inside the client, so a client must push
+// the same tensor layout every round.
+func (c *PSClient) PushRanked(rank int, comp Compression, grads [][]float32) ([][]float32, int, error) {
+	var req psRequest
+	switch comp {
+	case CompressFP16:
+		req = c.encodeHalf(grads, true, rank)
+	case CompressInt8:
+		req = c.encodeInt8(grads, rank)
+	default:
+		req = psRequest{Kind: "push", Grads: grads, Ranked: true, Rank: rank}
+	}
+	resp, err := c.roundTrip(req)
+	return resp.Weights, resp.Version, err
+}
+
+func (c *PSClient) encodeHalf(grads [][]float32, ranked bool, rank int) psRequest {
 	hg := make([][]uint16, len(grads))
 	for i, g := range grads {
 		hg[i] = tensor.EncodeHalf(g)
 	}
-	resp, err := c.roundTrip(psRequest{Kind: "push16", HalfGrads: hg})
-	return resp.Weights, resp.Version, err
+	return psRequest{Kind: "push16", HalfGrads: hg, Ranked: ranked, Rank: rank}
+}
+
+func (c *PSClient) encodeInt8(grads [][]float32, rank int) psRequest {
+	if c.quant == nil {
+		total := 0
+		c.offs = make([]int, len(grads))
+		for i, g := range grads {
+			c.offs[i] = total
+			total += len(g)
+		}
+		c.quant = NewInt8Quantizer(total)
+	}
+	qs := make([][]byte, len(grads))
+	scales := make([]float32, len(grads))
+	for i, g := range grads {
+		qs[i] = make([]byte, len(g))
+		scales[i] = c.quant.QuantizeAt(c.offs[i], g, qs[i])
+	}
+	return psRequest{Kind: "push8", Int8Grads: qs, Scales: scales, Ranked: true, Rank: rank}
 }
 
 // LoadWeights copies pulled weights into a parameter list.

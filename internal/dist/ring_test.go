@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+
+	"tbd/internal/graph"
+	"tbd/internal/optim"
+	"tbd/internal/tensor"
+)
+
+// runRing executes fn concurrently on every rank of a fresh n-worker
+// localhost ring and tears the ring down afterwards.
+func runRing(t *testing.T, n int, comp Compression, bytesPerSec float64, fn func(r *Ring)) {
+	t.Helper()
+	rings, err := NewLocalRings(n, comp, bytesPerSec)
+	if err != nil {
+		t.Fatalf("building %d-worker ring: %v", n, err)
+	}
+	defer func() {
+		for _, r := range rings {
+			r.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, r := range rings {
+		wg.Add(1)
+		go func(r *Ring) {
+			defer wg.Done()
+			fn(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestRingAllReduceAverages(t *testing.T) {
+	const n, l = 4, 1000
+	// Distinct per-rank vectors with a known exact average.
+	inputs := make([][]float32, n)
+	want := make([]float64, l)
+	for r := 0; r < n; r++ {
+		rng := tensor.NewRNG(uint64(r + 1))
+		inputs[r] = make([]float32, l)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.Norm())
+			want[i] += float64(inputs[r][i])
+		}
+	}
+	for i := range want {
+		want[i] /= n
+	}
+
+	results := make([][]float32, n)
+	runRing(t, n, CompressNone, 0, func(r *Ring) {
+		flat := append([]float32(nil), inputs[r.Rank()]...)
+		if err := r.AllReduce(flat); err != nil {
+			t.Errorf("rank %d: %v", r.Rank(), err)
+			return
+		}
+		results[r.Rank()] = flat
+	})
+
+	for i := 0; i < l; i++ {
+		got := float64(results[0][i])
+		if diff := got - want[i]; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("element %d: ring average %g, want %g", i, got, want[i])
+		}
+	}
+	// Every worker must hold byte-identical results.
+	for r := 1; r < n; r++ {
+		for i := 0; i < l; i++ {
+			if results[r][i] != results[0][i] {
+				t.Fatalf("rank %d diverges from rank 0 at element %d", r, i)
+			}
+		}
+	}
+}
+
+func TestRingSingleWorkerIsIdentity(t *testing.T) {
+	rings, err := NewLocalRings(1, CompressNone, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rings[0].Close()
+	flat := []float32{1, -2, 3}
+	if err := rings[0].AllReduce(flat); err != nil {
+		t.Fatal(err)
+	}
+	if flat[0] != 1 || flat[1] != -2 || flat[2] != 3 {
+		t.Fatal("1-worker all-reduce must be the identity")
+	}
+	if in, out := rings[0].WireBytes(); in != 0 || out != 0 {
+		t.Fatal("1-worker ring must not touch the network")
+	}
+}
+
+func TestNewRingValidatesPosition(t *testing.T) {
+	if _, err := NewRing(nil, "", RingConfig{Rank: 3, Workers: 2}); err == nil {
+		t.Fatal("want error for rank outside [0, workers)")
+	}
+	if _, err := NewRing(nil, "", RingConfig{Rank: 0, Workers: 0}); err == nil {
+		t.Fatal("want error for zero workers")
+	}
+}
+
+// ringTrain runs `steps` of data-parallel SGD on one rank: every worker
+// regenerates the same global batch from an identically seeded data RNG,
+// trains on its own shard, and averages gradients through the ring. This
+// is the worker loop the orchestrated runtime uses, inlined for tests.
+func ringTrain(t *testing.T, r *Ring, seed uint64, steps, globalBatch int) uint64 {
+	net := mlpConstructor(seed)()
+	opt := optim.NewSGD(0.1)
+	dataRNG := tensor.NewRNG(seed + 100)
+	var flat []float32
+	for s := 0; s < steps; s++ {
+		x, labels := makeBatch(dataRNG, globalBatch)
+		xs, ys := SplitBatch(x, labels, r.Workers())
+		optim.ZeroGrads(net.Params())
+		logits := net.Forward(xs[r.Rank()], true)
+		_, grad := tensor.CrossEntropy(logits, ys[r.Rank()])
+		net.Backward(grad)
+		flat = net.GradVector(flat)
+		if err := r.AllReduce(flat); err != nil {
+			t.Errorf("rank %d step %d: %v", r.Rank(), s, err)
+			return 0
+		}
+		net.SetGradVector(flat)
+		opt.Step(net.Params())
+	}
+	return net.WeightsHash()
+}
+
+func TestRingTrainingMatchesSingleReplica(t *testing.T) {
+	const seed, steps, batch = 42, 5, 16
+	// Single-replica reference: same init, full batch each step.
+	single := mlpConstructor(seed)()
+	opt := optim.NewSGD(0.1)
+	dataRNG := tensor.NewRNG(seed + 100)
+	for s := 0; s < steps; s++ {
+		x, labels := makeBatch(dataRNG, batch)
+		graph.TrainClassifierStep(single, opt, x, labels, 0)
+	}
+
+	nets := make([]*graph.Network, 4)
+	runRing(t, 4, CompressNone, 0, func(r *Ring) {
+		net := mlpConstructor(seed)()
+		wopt := optim.NewSGD(0.1)
+		wrng := tensor.NewRNG(seed + 100)
+		var flat []float32
+		for s := 0; s < steps; s++ {
+			x, labels := makeBatch(wrng, batch)
+			xs, ys := SplitBatch(x, labels, 4)
+			optim.ZeroGrads(net.Params())
+			logits := net.Forward(xs[r.Rank()], true)
+			_, grad := tensor.CrossEntropy(logits, ys[r.Rank()])
+			net.Backward(grad)
+			flat = net.GradVector(flat)
+			if err := r.AllReduce(flat); err != nil {
+				t.Errorf("rank %d: %v", r.Rank(), err)
+				return
+			}
+			net.SetGradVector(flat)
+			wopt.Step(net.Params())
+		}
+		nets[r.Rank()] = net
+	})
+
+	sp := nets[0].Params()
+	for i, p := range single.Params() {
+		if !tensor.Equal(p.Value, sp[i].Value, 1e-5) {
+			t.Fatalf("parameter %s diverged between single-replica and ring training", p.Name)
+		}
+	}
+}
+
+func TestRingTrainingBitIdentical(t *testing.T) {
+	for _, comp := range []Compression{CompressNone, CompressFP16, CompressInt8} {
+		t.Run(comp.String(), func(t *testing.T) {
+			run := func() []uint64 {
+				hashes := make([]uint64, 3)
+				runRing(t, 3, comp, 0, func(r *Ring) {
+					hashes[r.Rank()] = ringTrain(t, r, 7, 6, 12)
+				})
+				return hashes
+			}
+			first := run()
+			// Cross-worker: the all-gather ships exact bytes, so every
+			// worker must finish with identical weights even under lossy
+			// reduce-scatter compression.
+			for rank, h := range first {
+				if h != first[0] {
+					t.Fatalf("rank %d hash %x != rank 0 hash %x", rank, h, first[0])
+				}
+			}
+			// Run-to-run: fixed reduction order makes the whole run
+			// reproducible bit-for-bit.
+			second := run()
+			if second[0] != first[0] {
+				t.Fatalf("repeated run hash %x != first run %x", second[0], first[0])
+			}
+		})
+	}
+}
+
+func TestRingWireBytesReflectCompression(t *testing.T) {
+	const n, l = 2, 10000
+	measure := func(comp Compression) int64 {
+		var out int64
+		runRing(t, n, comp, 0, func(r *Ring) {
+			flat := make([]float32, l)
+			for i := range flat {
+				flat[i] = float32(i%13) - 6
+			}
+			if err := r.AllReduce(flat); err != nil {
+				t.Errorf("rank %d: %v", r.Rank(), err)
+			}
+			if r.Rank() == 0 {
+				_, out = r.WireBytes()
+			}
+		})
+		return out
+	}
+	full := measure(CompressNone)
+	int8 := measure(CompressInt8)
+	// Per rank and round: (n-1)/n of the payload out per phase. Full
+	// precision ships 4 B/elem both phases; int8 ships ~1 B/elem on the
+	// reduce-scatter and 4 B/elem on the all-gather.
+	wantFull := int64(2 * (n - 1) * (l / n) * 4)
+	if full < wantFull || full > wantFull+4096 {
+		t.Fatalf("full-precision wire bytes %d, want about %d", full, wantFull)
+	}
+	wantInt8 := int64((n - 1) * (l / n) * (1 + 4))
+	if int8 < wantInt8 || int8 > wantInt8+4096 {
+		t.Fatalf("int8 wire bytes %d, want about %d", int8, wantInt8)
+	}
+}

@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Throttled transport: a token-bucket wrapper that clamps a connection
+// to a configured bytes/s, so localhost TCP can stand in for the
+// paper's §4.5 link hierarchy (1 GbE Ethernet vs InfiniBand-class
+// fabrics) and the multi-machine scaling curves can be reproduced as
+// honest measurements instead of model outputs. Unthrottled loopback
+// plays the InfiniBand-class role: on this container it moves multiple
+// GB/s, an order of magnitude above the throttled "Ethernet".
+
+// Usable-goodput presets in bytes/s (line rate minus framing overhead).
+const (
+	// Link1GbE approximates gigabit Ethernet: 125 MB/s.
+	Link1GbE float64 = 125e6
+	// Link10GbE approximates 10-gigabit Ethernet: 1.25 GB/s.
+	Link10GbE float64 = 1.25e9
+)
+
+// throttleChunk is the pacing granularity: big writes are split so the
+// sleep schedule approximates a continuously paced link rather than one
+// giant burst followed by a long stall.
+const throttleChunk = 64 << 10
+
+// tokenBucket paces bytes at rate bytes/s with a small burst. It uses a
+// debt model: a consumer may overdraw the bucket and then sleeps until
+// the debt is repaid, which keeps the long-run average exact regardless
+// of call sizes.
+type tokenBucket struct {
+	rate  float64 // bytes per second
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64   // guarded by mu
+	last   time.Time // guarded by mu
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	burst := rate / 100 // 10 ms of line rate
+	if burst < 16<<10 {
+		burst = 16 << 10
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take consumes n bytes of budget and returns how long the caller must
+// sleep to repay any debt.
+func (tb *tokenBucket) take(n int) time.Duration {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens -= float64(n)
+	if tb.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+}
+
+// wait consumes n bytes and blocks until the bucket permits them.
+func (tb *tokenBucket) wait(n int) {
+	if d := tb.take(n); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ThrottledConn clamps each direction of a net.Conn to an independent
+// bytes/s budget. Wrap exactly one endpoint of a connection (both
+// directions are throttled here); wrapping both endpoints would model
+// two links in series. Reads are paced after the data arrives, which
+// throttles goodput identically without fighting the kernel's socket
+// buffering.
+type ThrottledConn struct {
+	net.Conn
+	rd, wr *tokenBucket
+}
+
+// Throttle wraps c at bytesPerSec per direction. A rate <= 0 returns c
+// unchanged (unthrottled).
+func Throttle(c net.Conn, bytesPerSec float64) net.Conn {
+	if bytesPerSec <= 0 {
+		return c
+	}
+	return &ThrottledConn{Conn: c, rd: newTokenBucket(bytesPerSec), wr: newTokenBucket(bytesPerSec)}
+}
+
+// ThrottleShared wraps c so that its two directions draw from shared
+// ingress/egress buckets — the model of N connections funnelling through
+// one NIC (the parameter server's link, where the central bottleneck of
+// the PS-vs-ring comparison lives). Pass buckets from NewSharedLink.
+func ThrottleShared(c net.Conn, in, out *tokenBucket) net.Conn {
+	if in == nil || out == nil {
+		return c
+	}
+	return &ThrottledConn{Conn: c, rd: in, wr: out}
+}
+
+// NewSharedLink allocates the ingress/egress bucket pair for
+// ThrottleShared. A rate <= 0 returns nils (unthrottled).
+func NewSharedLink(bytesPerSec float64) (in, out *tokenBucket) {
+	if bytesPerSec <= 0 {
+		return nil, nil
+	}
+	return newTokenBucket(bytesPerSec), newTokenBucket(bytesPerSec)
+}
+
+// Read paces inbound bytes at the configured rate.
+func (t *ThrottledConn) Read(p []byte) (int, error) {
+	n, err := t.Conn.Read(p)
+	if n > 0 {
+		t.rd.wait(n)
+	}
+	return n, err
+}
+
+// Write paces outbound bytes, splitting large writes into chunks so the
+// link drains smoothly instead of in one burst.
+func (t *ThrottledConn) Write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > throttleChunk {
+			chunk = chunk[:throttleChunk]
+		}
+		t.wr.wait(len(chunk))
+		n, err := t.Conn.Write(chunk)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p = p[len(chunk):]
+	}
+	return written, nil
+}
+
+// countingConn tallies wire bytes in each direction, feeding the comm
+// spans and the per-worker results. Counters are atomic because the
+// ring's send goroutine and receive loop share one accounting view.
+type countingConn struct {
+	net.Conn
+	in, out atomic.Int64
+}
+
+func newCountingConn(c net.Conn) *countingConn { return &countingConn{Conn: c} }
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+// Bytes returns the cumulative (in, out) wire bytes.
+func (c *countingConn) Bytes() (in, out int64) { return c.in.Load(), c.out.Load() }

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Parameter flattening and fingerprinting for the distributed runtime
+// (internal/dist): the ring all-reduce exchanges one contiguous gradient
+// vector instead of dozens of ragged per-layer slices, and multi-process
+// training proves replica consistency by hashing weight bytes.
+
+// GradElems returns the total number of gradient scalars across all
+// trainable parameters — the flat-vector length GradVector produces.
+func (n *Network) GradElems() int {
+	var total int
+	for _, p := range n.Params() {
+		total += p.Grad.Numel()
+	}
+	return total
+}
+
+// GradVector gathers every parameter gradient into one flat vector in
+// parameter order. dst is reused when it has exactly GradElems capacity
+// behavior-wise (len(dst) == GradElems()); otherwise a fresh slice is
+// allocated. The concatenation order is the Params() walk order, which is
+// fixed by network construction, so the same network always flattens the
+// same way — the precondition for the ring's fixed reduction order.
+func (n *Network) GradVector(dst []float32) []float32 {
+	total := n.GradElems()
+	if len(dst) != total {
+		dst = make([]float32, total)
+	}
+	off := 0
+	for _, p := range n.Params() {
+		off += copy(dst[off:], p.Grad.Data())
+	}
+	return dst
+}
+
+// SetGradVector scatters a flat gradient vector (as produced by
+// GradVector) back into the parameter gradients.
+func (n *Network) SetGradVector(src []float32) {
+	if len(src) != n.GradElems() {
+		panic(fmt.Sprintf("graph: gradient vector has %d elements, network needs %d", len(src), n.GradElems()))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		g := p.Grad.Data()
+		off += copy(g, src[off:off+len(g)])
+	}
+}
+
+// WeightsHash returns an FNV-1a fingerprint over the exact bit patterns
+// of every trainable parameter in Params() order. Two networks hash
+// equal iff their weights are bit-identical — the check the distributed
+// runtime uses to verify that N workers finished a run with the same
+// model, and that a repeated run reproduced the same trajectory.
+func (n *Network) WeightsHash() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, p := range n.Params() {
+		for _, v := range p.Value.Data() {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			// fnv.Write never returns an error.
+			_, _ = h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"tbd/internal/layers"
+	"tbd/internal/optim"
+	"tbd/internal/tensor"
+)
+
+func flattenNet(seed uint64) *Network {
+	rng := tensor.NewRNG(seed)
+	return New("flat-mlp", layers.NewSequential("mlp",
+		layers.NewDense("fc1", 4, 8, rng),
+		layers.NewReLU("relu"),
+		layers.NewDense("fc2", 8, 3, rng),
+	))
+}
+
+func TestGradVectorRoundTrip(t *testing.T) {
+	n := flattenNet(1)
+	// Produce real gradients.
+	x := tensor.RandNormal(tensor.NewRNG(2), 0, 1, 6, 4)
+	TrainClassifierStep(n, optim.NewSGD(0), x, []int{0, 1, 2, 0, 1, 2}, 0)
+
+	flat := n.GradVector(nil)
+	if len(flat) != n.GradElems() {
+		t.Fatalf("flat vector has %d elements, GradElems says %d", len(flat), n.GradElems())
+	}
+	want := int(n.ParamCount())
+	if len(flat) != want {
+		t.Fatalf("GradElems %d != ParamCount %d", len(flat), want)
+	}
+
+	// The flat vector must be the in-order concatenation.
+	off := 0
+	for _, p := range n.Params() {
+		for _, g := range p.Grad.Data() {
+			if flat[off] != g {
+				t.Fatalf("flat[%d] = %g, want %g", off, flat[off], g)
+			}
+			off++
+		}
+	}
+
+	// Scatter back after scaling: gradients must carry the change exactly.
+	for i := range flat {
+		flat[i] *= 0.5
+	}
+	n.SetGradVector(flat)
+	off = 0
+	for _, p := range n.Params() {
+		for _, g := range p.Grad.Data() {
+			if g != flat[off] {
+				t.Fatalf("scatter mismatch at %d: %g vs %g", off, g, flat[off])
+			}
+			off++
+		}
+	}
+
+	// A correctly sized destination is reused, not reallocated.
+	again := n.GradVector(flat)
+	if &again[0] != &flat[0] {
+		t.Fatal("GradVector allocated despite a right-sized dst")
+	}
+}
+
+func TestSetGradVectorValidates(t *testing.T) {
+	n := flattenNet(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong-length gradient vector")
+		}
+	}()
+	n.SetGradVector(make([]float32, 3))
+}
+
+func TestWeightsHashDetectsSingleBitChange(t *testing.T) {
+	a, b := flattenNet(7), flattenNet(7)
+	if a.WeightsHash() != b.WeightsHash() {
+		t.Fatal("identically seeded networks must hash equal")
+	}
+	// Flip the low mantissa bit of one scalar: hash must change.
+	d := b.Params()[0].Value.Data()
+	d[0] = flipLowBit(d[0])
+	if a.WeightsHash() == b.WeightsHash() {
+		t.Fatal("hash ignored a one-bit weight change")
+	}
+}
+
+func flipLowBit(v float32) float32 {
+	return math.Float32frombits(math.Float32bits(v) ^ 1)
+}
+
+func TestWeightsHashDiffersAcrossSeeds(t *testing.T) {
+	if flattenNet(1).WeightsHash() == flattenNet(2).WeightsHash() {
+		t.Fatal("different initializations should not collide")
+	}
+}

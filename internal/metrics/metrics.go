@@ -176,6 +176,26 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
+// AggregateWindows combines per-worker measurement windows of one
+// data-parallel run into a cluster view. Combined throughput is the sum
+// of worker throughputs (each worker processes its own shard), MeanSec
+// is the straggler mean (a synchronous round moves at the slowest
+// worker's pace), and Count is the shortest window so the aggregate
+// never claims more iterations than every worker actually measured.
+func AggregateWindows(ws []Window) Window {
+	var agg Window
+	for i, w := range ws {
+		if i == 0 || w.Count < agg.Count {
+			agg.Count = w.Count
+		}
+		if w.MeanSec > agg.MeanSec {
+			agg.MeanSec = w.MeanSec
+		}
+		agg.Throughput += w.Throughput
+	}
+	return agg
+}
+
 // DurationThroughput converts audio-style workloads where throughput is
 // measured as processed input duration per second (the paper's Deep
 // Speech 2 adjustment) rather than sample count.

@@ -146,3 +146,25 @@ func TestSummarizePercentiles(t *testing.T) {
 		t.Fatalf("empty summary %+v", got)
 	}
 }
+
+func TestAggregateWindows(t *testing.T) {
+	ws := []Window{
+		{Count: 40, MeanSec: 0.010, Throughput: 400},
+		{Count: 50, MeanSec: 0.012, Throughput: 380},
+		{Count: 45, MeanSec: 0.011, Throughput: 390},
+	}
+	agg := AggregateWindows(ws)
+	if agg.Count != 40 {
+		t.Fatalf("aggregate count %d, want the shortest window 40", agg.Count)
+	}
+	if agg.MeanSec != 0.012 {
+		t.Fatalf("aggregate mean %.4f, want the straggler 0.012", agg.MeanSec)
+	}
+	if agg.Throughput != 400+380+390 {
+		t.Fatalf("aggregate throughput %.0f, want the sum 1170", agg.Throughput)
+	}
+	zero := AggregateWindows(nil)
+	if zero.Count != 0 || zero.Throughput != 0 {
+		t.Fatal("empty aggregate must be zero")
+	}
+}

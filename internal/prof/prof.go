@@ -42,6 +42,11 @@ const (
 	CatOptim
 	// CatServe marks serving batches.
 	CatServe
+	// CatComm marks distributed-communication rounds (ring all-reduce
+	// passes, parameter-server push/pull): the span's bytes field carries
+	// the wire volume, its duration the time training was blocked on the
+	// network.
+	CatComm
 )
 
 // String returns the category label used in stats tables and trace files.
@@ -59,6 +64,8 @@ func (c Cat) String() string {
 		return "optim"
 	case CatServe:
 		return "serve"
+	case CatComm:
+		return "comm"
 	}
 	return "other"
 }
