@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet lint test race tier-race serve-race prof-race dist-race bench bench-serve bench-prof bench-dist bench-all bench-compare bench-gate cover reproduce observations examples clean
+.PHONY: all check build vet lint test race tier-race serve-race prof-race dist-race whatif-race bench bench-serve bench-prof bench-dist bench-whatif bench-all bench-compare bench-gate whatif-record cover reproduce observations examples clean
 
 all: check
 
-check: build vet lint test race tier-race serve-race prof-race dist-race
+check: build vet lint test race tier-race serve-race prof-race dist-race whatif-race
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,13 @@ prof-race:
 dist-race:
 	$(GO) test -race ./internal/dist/... ./cmd/tbd/
 
+# Race detector over the what-if predictor: trace capture off the live
+# profiler (concurrent span emission), merge, replay, and the root-package
+# golden-trace ground-truth tests.
+whatif-race:
+	$(GO) test -race ./internal/whatif/...
+	$(GO) test -race -run 'Whatif' .
+
 # Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
 # machine-readable for regression tracking.
 bench:
@@ -74,8 +81,30 @@ bench-dist:
 	$(GO) test -run '^$$' -bench 'Dist' -benchtime 1x -benchmem -json . > BENCH_dist.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_prof.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
+# What-if predictor benchmarks: ground-truth prediction error per cell
+# (pred-err-pct, deterministic replay of the committed golden traces),
+# replay engine cost, and the twin step with recording enabled.
+bench-whatif:
+	$(GO) test -run '^$$' -bench 'Whatif' -benchtime 1s -benchmem -json . > BENCH_whatif.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_whatif.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
 bench-all:
 	$(GO) test -bench=. -benchmem
+
+# Re-record the committed what-if golden traces (testdata/whatif/): the
+# twin traces per GEMM kernel tier via the env-gated recorder test, and
+# the distributed cluster traces via real `tbd dist` runs. Only
+# meaningful on the benchmark machine the BENCH_*.json baselines and
+# EXPERIMENTS.md tables came from.
+whatif-record:
+	TBD_WHATIF_RECORD=1 $(GO) test -run TestRecordWhatifGoldenTraces -v .
+	$(GO) build -o /tmp/tbd-whatif-record ./cmd/tbd
+	/tmp/tbd-whatif-record dist -workers 4 -strategy ring -model mlp-wide -steps 3 -batch 16 -seed 42 -lr 0.05 -bw 125 -trace-out testdata/whatif/dist_ring_1gbe.json
+	/tmp/tbd-whatif-record dist -workers 4 -strategy ring -model mlp-wide -steps 3 -batch 16 -seed 42 -lr 0.05 -bw 1250 -trace-out testdata/whatif/dist_ring_10gbe.json
+	/tmp/tbd-whatif-record dist -workers 4 -strategy ring -model mlp-wide -steps 3 -batch 16 -seed 42 -lr 0.05 -bw 0 -trace-out testdata/whatif/dist_ring_nolimit.json
+	/tmp/tbd-whatif-record dist -workers 4 -strategy ps-sync -model mlp-wide -steps 3 -batch 16 -seed 42 -lr 0.05 -bw 125 -trace-out testdata/whatif/dist_ps_1gbe.json
+	/tmp/tbd-whatif-record dist -workers 4 -strategy ps-sync -model mlp-wide -steps 3 -batch 16 -seed 42 -lr 0.05 -bw 1250 -trace-out testdata/whatif/dist_ps_10gbe.json
+	rm -f /tmp/tbd-whatif-record
 
 # Re-run the tracked micro-benchmarks and print old-vs-new deltas against
 # the committed baselines (-suite numeric is the default; -suite serve
@@ -85,16 +114,20 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare -suite serve
 	$(GO) run ./cmd/benchcompare -suite prof
 	$(GO) run ./cmd/benchcompare -suite dist -benchtime 1x
+	$(GO) run ./cmd/benchcompare -suite whatif -benchtime 1x
 
 # Noise-aware regression gate: re-run the tracked suites and exit nonzero
 # when any benchmark slows down (ns/op) or loses throughput by more than
 # the tolerance. The numeric kernels are stable enough for a tight gate;
 # the serving and profiler suites schedule goroutines and get more slack.
+# The whatif suite is gated on prediction error (deterministic replay of
+# committed traces, so zero noise), not on wall time.
 bench-gate:
 	$(GO) run ./cmd/benchcompare -tol 0.20
 	$(GO) run ./cmd/benchcompare -suite serve -tol 0.40
 	$(GO) run ./cmd/benchcompare -suite prof -tol 0.40
 	$(GO) run ./cmd/benchcompare -suite dist -benchtime 1x -tol 0.40
+	$(GO) run ./cmd/benchcompare -suite whatif -benchtime 1x -errbound 20
 
 cover:
 	$(GO) test -cover ./...

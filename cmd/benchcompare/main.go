@@ -13,19 +13,30 @@
 //	-suite dist      distributed-training scaling matrix vs BENCH_dist.json
 //	                 (baseline from `make bench-dist`; use -benchtime 1x —
 //	                 each cell is a full multi-worker run over throttled TCP)
+//	-suite whatif    what-if predictor validation vs BENCH_whatif.json
+//	                 (baseline from `make bench-whatif`; gate with -errbound,
+//	                 which bounds prediction error instead of wall time)
 //
 // Usage:
 //
-//	go run ./cmd/benchcompare [-suite numeric|serve|prof|dist] [-benchtime 1s]
+//	go run ./cmd/benchcompare [-suite numeric|serve|prof|dist|whatif] [-benchtime 1s]
 //	go run ./cmd/benchcompare -old file.json -bench regexp   # explicit override
 //	go run ./cmd/benchcompare -new other.json                # compare two saved files
 //	go run ./cmd/benchcompare -tol 0.2                       # CI gate: exit 1 on regression
+//	go run ./cmd/benchcompare -suite whatif -errbound 20     # CI gate: prediction quality
 //
 // With -tol the comparison becomes a noise-aware regression gate (see
 // `make bench-gate`): the run exits nonzero when any tracked benchmark's
 // ns/op worsens — or any throughput metric drops — by more than the given
 // fraction, or when a baseline benchmark disappeared from the fresh run.
 // Improvements and new benchmarks never fail the gate.
+//
+// -errbound gates on accuracy rather than speed: any benchmark reporting
+// a pred-err-pct metric (the what-if ground-truth cells) fails when the
+// fresh error exceeds the bound, regardless of what the baseline said.
+// Replay is deterministic, so this gate is noise-free; it is the right
+// one for the whatif suite, whose wall time is load-and-replay trivia
+// but whose error metric is the predictor's contract.
 package main
 
 import (
@@ -169,24 +180,27 @@ var suites = map[string]struct{ oldPath, pattern string }{
 	"serve":   {"BENCH_serve.json", "Serve|Fleet"},
 	"prof":    {"BENCH_prof.json", "Prof"},
 	"dist":    {"BENCH_dist.json", "Dist"},
+	"whatif":  {"BENCH_whatif.json", "Whatif"},
 }
 
 func main() {
-	suite := flag.String("suite", "numeric", "tracked `suite` to compare (numeric, serve, prof, or dist)")
+	suite := flag.String("suite", "numeric", "tracked `suite` to compare (numeric, serve, prof, dist, or whatif)")
 	oldPath := flag.String("old", "", "baseline `file` (go test -json stream; default from -suite)")
 	newPath := flag.String("new", "", "compare this saved `file` instead of re-running benchmarks")
 	pattern := flag.String("bench", "", "benchmark `regexp` to run (default from -suite)")
 	benchtime := flag.String("benchtime", "1s", "benchtime for the fresh run")
 	tol := flag.Float64("tol", 0, "regression `fraction` the gate allows before failing; 0 disables the gate")
+	errBound := flag.Float64("errbound", 0, "absolute `bound` on pred-err-pct metrics; any cell above it fails the gate; 0 disables")
 	flag.Parse()
-	if *tol < 0 {
-		fmt.Fprintln(os.Stderr, "benchcompare: -tol must be >= 0")
+	if *tol < 0 || *errBound < 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: -tol and -errbound must be >= 0")
 		os.Exit(1)
 	}
+	gated := *tol > 0 || *errBound > 0
 
 	defaults, ok := suites[*suite]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchcompare: unknown suite %q (have numeric, serve, prof, dist)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchcompare: unknown suite %q (have numeric, serve, prof, dist, whatif)\n", *suite)
 		os.Exit(1)
 	}
 	if *oldPath == "" {
@@ -226,18 +240,26 @@ func main() {
 		n := cur[name]
 		o, haveOld := old[name]
 		nsNew := n.metrics["ns/op"]
+		var bad []string
+		if *tol > 0 && haveOld {
+			bad = regressions(o, n, *tol)
+		}
+		// The error bound is absolute, so it applies to new cells too.
+		if *errBound > 0 {
+			if ep, ok := n.metrics["pred-err-pct"]; ok && ep > *errBound {
+				bad = append(bad, fmt.Sprintf("pred-err-pct %.1f exceeds bound %.1f", ep, *errBound))
+			}
+		}
+		mark := ""
+		if len(bad) > 0 {
+			mark = "   << REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %s", name, strings.Join(bad, ", ")))
+		}
 		if !haveOld {
-			fmt.Fprintf(w, "%-44s %14s %14s %8s   %s\n", name, "-", fmtMetric(nsNew, "ns/op"), "new", rateCols(benchResult{}, n))
+			fmt.Fprintf(w, "%-44s %14s %14s %8s   %s%s\n", name, "-", fmtMetric(nsNew, "ns/op"), "new", rateCols(benchResult{}, n), mark)
 			continue
 		}
 		nsOld := o.metrics["ns/op"]
-		mark := ""
-		if *tol > 0 {
-			if bad := regressions(o, n, *tol); len(bad) > 0 {
-				mark = "   << REGRESSED"
-				failures = append(failures, fmt.Sprintf("%s: %s", name, strings.Join(bad, ", ")))
-			}
-		}
 		fmt.Fprintf(w, "%-44s %14s %14s %8s   %s%s\n",
 			name, fmtMetric(nsOld, "ns/op"), fmtMetric(nsNew, "ns/op"), delta(nsOld, nsNew), rateCols(o, n), mark)
 	}
@@ -247,23 +269,30 @@ func main() {
 	for name := range old {
 		if _, ok := cur[name]; !ok {
 			fmt.Fprintf(w, "%-44s %14s %14s %8s\n", name, fmtMetric(old[name].metrics["ns/op"], "ns/op"), "-", "gone")
-			if *tol > 0 {
+			if gated {
 				failures = append(failures, name+": missing from the fresh run")
 			}
 		}
 	}
-	if *tol > 0 {
+	if gated {
 		// The table must land before the verdict; the deferred Flush
 		// would come too late for the os.Exit path anyway.
 		_ = w.Flush()
 		if len(failures) > 0 {
-			fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed beyond the %.0f%% tolerance:\n", len(failures), *tol*100)
+			fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) failed the gate:\n", len(failures))
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, " ", f)
 			}
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchcompare: gate passed, all %d benchmarks within %.0f%% of baseline\n", len(names), *tol*100)
+		fmt.Fprintf(os.Stderr, "benchcompare: gate passed across %d benchmarks", len(names))
+		if *tol > 0 {
+			fmt.Fprintf(os.Stderr, " (within %.0f%% of baseline)", *tol*100)
+		}
+		if *errBound > 0 {
+			fmt.Fprintf(os.Stderr, " (prediction error within %.0f%%)", *errBound)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 
@@ -286,8 +315,17 @@ func regressions(o, n benchResult, tol float64) []string {
 }
 
 // rateCols renders throughput metrics plus the allocation count, old -> new.
+// pred-err-pct rides along so the whatif table leads with its headline
+// metric (it is gated absolutely via -errbound, not as a rate).
 func rateCols(o, n benchResult) string {
 	var parts []string
+	if nv, ok := n.metrics["pred-err-pct"]; ok {
+		if ov, ok := o.metrics["pred-err-pct"]; ok {
+			parts = append(parts, fmt.Sprintf("pred-err %.1f%% -> %.1f%%", ov, nv))
+		} else {
+			parts = append(parts, fmt.Sprintf("pred-err %.1f%%", nv))
+		}
+	}
 	for _, unit := range rateUnits {
 		nv, ok := n.metrics[unit]
 		if !ok {

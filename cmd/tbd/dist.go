@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"tbd/internal/dist"
+	"tbd/internal/whatif"
 )
 
 // cmdDist orchestrates real multi-process distributed training: the
@@ -26,6 +27,8 @@ func cmdDist(args []string) error {
 	compress := fs.String("compress", "full", "gradient wire encoding: full, fp16, int8")
 	bwMBps := fs.Float64("bw", 0, "per-link bandwidth throttle in MB/s (0 = unthrottled; 125 = 1 GbE)")
 	staleness := fs.Int("staleness", 2, "SSP staleness bound for ps-async")
+	profile := fs.Bool("profile", false, "capture per-rank dependence-graph traces and print a comm summary")
+	traceOut := fs.String("trace-out", "", "write the merged cluster what-if trace to this file (implies -profile)")
 
 	// Internal flags used by the worker re-exec; not for humans.
 	role := fs.String("role", "", "internal: set to 'worker' in re-exec'd rank processes")
@@ -51,6 +54,9 @@ func cmdDist(args []string) error {
 		*batch = 8 * *workers
 	}
 	bytesPerSec := *bwMBps * 1e6
+	if *traceOut != "" {
+		*profile = true
+	}
 
 	if *role == "worker" {
 		_, err := dist.RunWorker(dist.WorkerConfig{
@@ -65,6 +71,7 @@ func cmdDist(args []string) error {
 			Steps:       *steps,
 			GlobalBatch: *batch,
 			LR:          float32(*lr),
+			Profile:     *profile,
 			CoordAddr:   *coordAddr,
 			PSAddr:      *psAddr,
 		})
@@ -109,6 +116,7 @@ func cmdDist(args []string) error {
 			"-compress", comp.String(),
 			"-bw", strconv.FormatFloat(*bwMBps, 'g', -1, 64),
 			"-staleness", strconv.Itoa(*staleness),
+			"-profile="+strconv.FormatBool(*profile),
 			"-coord", coord.Addr(),
 			"-ps", coord.PSAddr(),
 		)
@@ -152,5 +160,54 @@ func cmdDist(args []string) error {
 	} else {
 		fmt.Println("WARNING: workers finished with DIVERGING weights")
 	}
+	if *profile && werr == nil {
+		if err := distTraces(summary, *traceOut); err != nil {
+			return err
+		}
+	}
 	return werr
+}
+
+// distTraces merges the per-rank what-if captures that rode the result
+// messages into one cluster trace, prints a per-rank span summary, and
+// (with -trace-out) writes the merged trace for `tbd whatif` replay.
+func distTraces(summary *dist.RunSummary, traceOut string) error {
+	traces := make([]*whatif.Trace, 0, len(summary.Results))
+	for _, r := range summary.Results {
+		if r.Trace == nil {
+			return fmt.Errorf("dist: rank %d returned no trace despite -profile", r.Rank)
+		}
+		traces = append(traces, r.Trace)
+	}
+	merged, err := whatif.Merge(traces...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profile: %d spans across %d ranks (cluster wall %.1f ms)\n",
+		len(merged.Spans), len(merged.Ranks), merged.WallUs/1e3)
+	fmt.Printf("%-5s %-8s %-10s %-12s %s\n", "rank", "spans", "wall(ms)", "comm(ms)", "top comm span")
+	for i, tr := range traces {
+		var commUs float64
+		topName, topUs := "-", 0.0
+		perName := map[string]float64{}
+		for _, s := range tr.Spans {
+			if s.Cat != "comm" {
+				continue
+			}
+			commUs += s.DurUs
+			perName[s.Name] += s.DurUs
+			if perName[s.Name] > topUs {
+				topName, topUs = s.Name, perName[s.Name]
+			}
+		}
+		fmt.Printf("%-5d %-8d %-10.1f %-12.1f %s\n",
+			summary.Results[i].Rank, len(tr.Spans), tr.WallUs/1e3, commUs/1e3, topName)
+	}
+	if traceOut != "" {
+		if err := merged.WriteFile(traceOut); err != nil {
+			return fmt.Errorf("dist: write cluster trace: %w", err)
+		}
+		fmt.Printf("cluster trace written to %s — replay with: tbd whatif -trace %s -scenario <spec>\n", traceOut, traceOut)
+	}
+	return nil
 }

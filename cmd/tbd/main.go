@@ -25,6 +25,7 @@ import (
 	"tbd/internal/memprof"
 	"tbd/internal/prof"
 	"tbd/internal/trace"
+	"tbd/internal/whatif"
 )
 
 func main() {
@@ -58,6 +59,8 @@ func main() {
 		err = cmdTwin(os.Args[2:])
 	case "dist":
 		err = cmdDist(os.Args[2:])
+	case "whatif":
+		err = cmdWhatif(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
 	case "observations":
@@ -92,10 +95,13 @@ Commands:
   workspace       workspace-budget vs conv-algorithm tradeoff (-model, -framework, -batch)
   trace           export an nvprof-style kernel timeline (-model, -framework, -batch, -json)
   twin            train a benchmark's numeric twin for real (-model, -steps, -seed)
-                  flags: -profile, -prof-top N, -prof-json, -trace-out FILE
+                  flags: -profile, -prof-top N, -prof-json, -trace-out FILE, -whatif-record FILE
   dist            real multi-process distributed training over TCP
                   flags: -workers N, -strategy ring|ps-sync|ps-async, -model mlp|mlp-wide|cnn,
-                         -steps, -batch, -seed, -lr, -compress full|fp16|int8, -bw MB/s, -staleness
+                         -steps, -batch, -seed, -lr, -compress full|fp16|int8, -bw MB/s, -staleness,
+                         -profile, -trace-out FILE
+  whatif          Daydream-style replay of a recorded trace under a transformation
+                  flags: -trace FILE, -scenario 'speedup=gemm*:2,bw=10gbe,...', -json, -top N
   analyze         full Figure-3 pipeline report for one config (-model, -framework, -batch)
   observations    check the paper's Observations 1-13`)
 }
@@ -337,15 +343,23 @@ func cmdTwin(args []string) error {
 	profTop := fs.Int("prof-top", 12, "profile rows to print (0 = all)")
 	profJSON := fs.Bool("prof-json", false, "emit the profile as JSON instead of a table")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace (chrome://tracing) of the run to this file (implies -profile)")
+	whatifOut := fs.String("whatif-record", "", "write a what-if dependence-graph trace of the run to this file (implies -profile)")
+	whatifCap := fs.Int("whatif-cap", 1<<20, "span-timeline capacity for -whatif-record (a truncated capture is an error)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	tbd.SetEngineParallelism(*workers)
-	if *traceOut != "" {
+	if *traceOut != "" || *whatifOut != "" {
 		*profile = true
 	}
 	if *profile {
-		prof.Enable()
+		if *whatifOut != "" {
+			// What-if replay needs every span edge; size the timeline so
+			// nothing drops (whatif.Capture rejects truncated captures).
+			prof.EnableWithMaxRecords(*whatifCap)
+		} else {
+			prof.Enable()
+		}
 	}
 	run, err := tbd.TrainTwin(*model, *steps, *seed)
 	if *profile {
@@ -353,6 +367,19 @@ func cmdTwin(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *whatifOut != "" {
+		// Batch mirrors the twin training loops, which all draw batches
+		// of 16 (internal/core/twins.go).
+		tr, err := whatif.Capture(whatif.Meta{Model: run.Model, Steps: *steps, Batch: 16, Parallel: *workers})
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteFile(*whatifOut); err != nil {
+			return err
+		}
+		fmt.Printf("what-if trace (%d spans) written to %s — replay with: tbd whatif -trace %s -scenario <spec>\n",
+			len(tr.Spans), *whatifOut, *whatifOut)
 	}
 	fmt.Printf("Numeric twin of %s: %d steps, metric %q\n", run.Model, *steps, run.Metric)
 	for _, p := range run.Points {

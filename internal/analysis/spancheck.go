@@ -32,8 +32,16 @@ var Spancheck = &Analyzer{
 	Run:  runSpancheck,
 }
 
-const profBeginName = "tbd/internal/prof.Begin"
 const profEndName = "tbd/internal/prof.Span.End"
+
+// profBeginNames are the span-opening entry points. BeginChild is the
+// Begin-with-parent idiom the train-step drivers use for explicit phase
+// lineage (the what-if recorder's dependence edges); its balance rules
+// are identical to Begin's.
+var profBeginNames = map[string]bool{
+	"tbd/internal/prof.Begin":      true,
+	"tbd/internal/prof.BeginChild": true,
+}
 
 func runSpancheck(p *Pass) {
 	p.funcBodies(func(decl *ast.FuncDecl, body *ast.BlockStmt) {
@@ -75,7 +83,7 @@ func (sc *spanChecker) walkBody(body *ast.BlockStmt) {
 		case *ast.ExprStmt:
 			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
 				name := sc.pass.calleeName(call)
-				if name == profBeginName {
+				if profBeginNames[name] {
 					sc.pass.Reportf(call.Pos(), "result of prof.Begin is discarded: the span can never be closed")
 					return false
 				}
@@ -118,7 +126,7 @@ func (sc *spanChecker) scanAssign(s *ast.AssignStmt) {
 	}
 	for i, rhs := range s.Rhs {
 		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-		if !ok || sc.pass.calleeName(call) != profBeginName {
+		if !ok || !profBeginNames[sc.pass.calleeName(call)] {
 			continue
 		}
 		switch lhs := ast.Unparen(s.Lhs[i]).(type) {

@@ -41,3 +41,33 @@ func escapes() prof.Span {
 	sp := prof.Begin(prof.CatKernel, "z")
 	return sp
 }
+
+// beginChild is the Begin-with-parent idiom the train-step drivers use
+// for explicit dependence edges: phases pinned to their step, each closed
+// before the variable is reused, the parent closed last. Clean.
+func beginChild() {
+	step := prof.Begin(prof.CatPhase, "step")
+	sp := prof.BeginChild(&step, prof.CatPhase, "phase.forward")
+	sp.End()
+	sp = prof.BeginChild(&step, prof.CatPhase, "phase.update")
+	sp.End()
+	step.End()
+}
+
+// beginChildDiscarded drops a child span even though its parent is
+// balanced: the child can never be closed.
+func beginChildDiscarded() {
+	step := prof.Begin(prof.CatPhase, "step")
+	defer step.End()
+	prof.BeginChild(&step, prof.CatPhase, "phase.forward") // want "result of prof.Begin is discarded"
+}
+
+// beginChildReassigned overwrites an open child span: the first phase
+// silently vanishes from its parent's lineage.
+func beginChildReassigned() {
+	step := prof.Begin(prof.CatPhase, "step")
+	defer step.End()
+	sp := prof.BeginChild(&step, prof.CatPhase, "a")
+	sp = prof.BeginChild(&step, prof.CatPhase, "b") // want "span sp reassigned while the span begun at line"
+	sp.End()
+}

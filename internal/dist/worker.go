@@ -11,7 +11,9 @@ import (
 	"tbd/internal/metrics"
 	"tbd/internal/models"
 	"tbd/internal/optim"
+	"tbd/internal/prof"
 	"tbd/internal/tensor"
+	"tbd/internal/whatif"
 )
 
 // The distributed worker runtime: one RunWorker call is one rank of a
@@ -158,6 +160,14 @@ type WorkerConfig struct {
 	GlobalBatch int
 	LR          float32
 
+	// Profile captures a full-fidelity what-if trace of this rank's
+	// training loop (phase spans, kernel spans, comm spans with their
+	// dependence edges) into WorkerResult.Trace. Only one rank per
+	// process may profile — the collector is process-global — so the
+	// in-process benchmark harnesses leave it off and the `tbd dist`
+	// re-exec path (one OS process per rank) turns it on.
+	Profile bool
+
 	// CoordAddr is the coordinator's control address; PSAddr the
 	// parameter server (ps strategies only).
 	CoordAddr string
@@ -178,6 +188,10 @@ type WorkerResult struct {
 	CommSec         float64
 	WireIn, WireOut int64
 	Window          metrics.Window
+	// Trace is this rank's dependence-graph capture (nil unless the run
+	// profiled). It rides the gob result message so the coordinator can
+	// merge every rank into one cluster trace.
+	Trace *whatif.Trace
 }
 
 // ctrlTimeout bounds every control-protocol read and write.
@@ -337,26 +351,43 @@ func trainWorker(cfg WorkerConfig, model RunModel, ring *Ring, ps *PSClient) (*t
 		}
 	}
 
+	// The phase spans below are no-ops unless the profiler is on; with
+	// cfg.Profile they give every kernel and comm span a phase lineage
+	// for the what-if dependence graph.
+	if cfg.Profile {
+		prof.EnableWithMaxRecords(distProfileMaxRecords)
+	}
+
 	var flat []float32
 	wallStart := time.Now()
 	for step := 0; step < cfg.Steps; step++ {
 		stepStart := time.Now()
+		st := prof.Begin(prof.CatPhase, "step")
 		// Every rank draws the same global batch and takes its shard.
 		x, labels := SyntheticBatch(dataRNG, model.Shape, model.Classes, cfg.GlobalBatch)
 		xs, ys := SplitBatch(x, labels, cfg.Workers)
 		optim.ZeroGrads(net.Params())
+		fw := prof.BeginChild(&st, prof.CatPhase, "phase.forward")
 		logits := net.Forward(xs[cfg.Rank], true)
+		fw.End()
+		ls := prof.BeginChild(&st, prof.CatPhase, "phase.loss")
 		loss, grad := tensor.CrossEntropy(logits, ys[cfg.Rank])
+		ls.End()
+		bw := prof.BeginChild(&st, prof.CatPhase, "phase.backward")
 		net.Backward(grad)
+		bw.End()
 		if step == 0 {
 			res.FirstLoss = loss
 		}
 		res.LastLoss = loss
 
 		commStart := time.Now()
+		sync := prof.BeginChild(&st, prof.CatPhase, "phase.sync")
 		if ring != nil {
 			flat = net.GradVector(flat)
 			if err := ring.AllReduce(flat); err != nil {
+				sync.End()
+				st.End()
 				return nil, err
 			}
 			net.SetGradVector(flat)
@@ -364,13 +395,19 @@ func trainWorker(cfg WorkerConfig, model RunModel, ring *Ring, ps *PSClient) (*t
 		} else {
 			weights, _, err := ps.PushRanked(cfg.Rank, cfg.Compression, GradSlices(net.Params()))
 			if err != nil {
+				sync.End()
+				st.End()
 				return nil, err
 			}
 			if err := LoadWeights(net.Params(), weights); err != nil {
+				sync.End()
+				st.End()
 				return nil, err
 			}
 		}
+		sync.End()
 		res.CommSec += time.Since(commStart).Seconds()
+		st.End()
 		meter.Record(time.Since(stepStart).Seconds())
 	}
 	res.WallSec = time.Since(wallStart).Seconds()
@@ -378,8 +415,30 @@ func trainWorker(cfg WorkerConfig, model RunModel, ring *Ring, ps *PSClient) (*t
 	if ring != nil {
 		res.WireIn, res.WireOut = ring.WireBytes()
 	}
+	if cfg.Profile {
+		prof.Disable()
+		tr, err := whatif.Capture(whatif.Meta{
+			Model:         cfg.Model,
+			Steps:         cfg.Steps,
+			Batch:         cfg.GlobalBatch,
+			Workers:       cfg.Workers,
+			Strategy:      cfg.Strategy.String(),
+			Compression:   cfg.Compression.String(),
+			BandwidthMBps: cfg.BytesPerSec / 1e6,
+			Rank:          cfg.Rank,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Trace = tr
+	}
 	return &trainResult{net: net, result: res}, nil
 }
+
+// distProfileMaxRecords sizes the profiled-run timeline: a few steps of
+// a deep model emit thousands of spans per step, and a truncated capture
+// is a hard error in whatif.Capture, so leave generous headroom.
+const distProfileMaxRecords = 1 << 20
 
 // BuildMasterParams builds the parameter-server master network for a
 // run: the same model and seed the workers use, so rank 0's initial pull

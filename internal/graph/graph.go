@@ -125,13 +125,13 @@ func TrainClassifierStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labe
 	step := prof.Begin(prof.CatPhase, "step")
 	params := n.Params()
 	optim.ZeroGrads(params)
-	sp := prof.Begin(prof.CatPhase, "phase.forward")
+	sp := prof.BeginChild(&step, prof.CatPhase, "phase.forward")
 	logits := n.Forward(x, true)
 	sp.End()
-	sp = prof.Begin(prof.CatPhase, "phase.loss")
+	sp = prof.BeginChild(&step, prof.CatPhase, "phase.loss")
 	loss, grad := tensor.CrossEntropy(logits, labels)
 	sp.End()
-	sp = prof.Begin(prof.CatPhase, "phase.backward")
+	sp = prof.BeginChild(&step, prof.CatPhase, "phase.backward")
 	n.Backward(grad)
 	sp.End()
 	// The loss gradient is this step's own buffer and dead after backward;
@@ -145,7 +145,7 @@ func TrainClassifierStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labe
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)
 	}
-	sp = prof.Begin(prof.CatPhase, "phase.update")
+	sp = prof.BeginChild(&step, prof.CatPhase, "phase.update")
 	opt.Step(params)
 	sp.End()
 	step.End()
@@ -177,16 +177,16 @@ func TrainClassifierAccumulated(n *Network, opt optim.Optimizer, microX []*tenso
 	var correct, total int
 	inv := 1 / float32(k)
 	for i := 0; i < k; i++ {
-		sp := prof.Begin(prof.CatPhase, "phase.forward")
+		sp := prof.BeginChild(&step, prof.CatPhase, "phase.forward")
 		logits := n.Forward(microX[i], true)
 		sp.End()
-		sp = prof.Begin(prof.CatPhase, "phase.loss")
+		sp = prof.BeginChild(&step, prof.CatPhase, "phase.loss")
 		loss, grad := tensor.CrossEntropy(logits, microLabels[i])
 		sp.End()
 		// CrossEntropy already averages within the micro-batch; scale by
 		// 1/k so the accumulated gradient averages over the full batch.
 		grad.ScaleInPlace(inv)
-		sp = prof.Begin(prof.CatPhase, "phase.backward")
+		sp = prof.BeginChild(&step, prof.CatPhase, "phase.backward")
 		n.Backward(grad)
 		sp.End()
 		grad.Release()
@@ -205,7 +205,7 @@ func TrainClassifierAccumulated(n *Network, opt optim.Optimizer, microX []*tenso
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)
 	}
-	sp := prof.Begin(prof.CatPhase, "phase.update")
+	sp := prof.BeginChild(&step, prof.CatPhase, "phase.update")
 	opt.Step(params)
 	sp.End()
 	step.End()
@@ -222,7 +222,7 @@ func TrainSequenceStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels
 	step := prof.Begin(prof.CatPhase, "step")
 	params := n.Params()
 	optim.ZeroGrads(params)
-	sp := prof.Begin(prof.CatPhase, "phase.forward")
+	sp := prof.BeginChild(&step, prof.CatPhase, "phase.forward")
 	out := n.Forward(x, true)
 	sp.End()
 	rows := len(labels)
@@ -230,10 +230,10 @@ func TrainSequenceStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels
 		panic(fmt.Sprintf("graph: output %v incompatible with %d labels", out.Shape(), rows))
 	}
 	logits := out.Reshape(rows, out.Numel()/rows)
-	sp = prof.Begin(prof.CatPhase, "phase.loss")
+	sp = prof.BeginChild(&step, prof.CatPhase, "phase.loss")
 	loss, grad := tensor.CrossEntropy(logits, labels)
 	sp.End()
-	sp = prof.Begin(prof.CatPhase, "phase.backward")
+	sp = prof.BeginChild(&step, prof.CatPhase, "phase.backward")
 	n.Backward(grad.Reshape(out.Shape()...))
 	sp.End()
 	grad.Release()
@@ -242,7 +242,7 @@ func TrainSequenceStep(n *Network, opt optim.Optimizer, x *tensor.Tensor, labels
 	if clip > 0 {
 		norm = optim.ClipGradNorm(params, clip)
 	}
-	sp = prof.Begin(prof.CatPhase, "phase.update")
+	sp = prof.BeginChild(&step, prof.CatPhase, "phase.update")
 	opt.Step(params)
 	sp.End()
 	step.End()

@@ -74,6 +74,21 @@ func (c Cat) String() string {
 // path touches.
 var enabled atomic.Bool
 
+// nextSpanID hands out span IDs while a capture runs. IDs restart at 1 on
+// every Enable so a recorded trace's edges are stable run-to-run.
+var nextSpanID atomic.Uint64
+
+// ambientSpan is the ID of the innermost open span on the (single)
+// instrumented control-flow path — the implicit parent a plain Begin
+// attaches to. Begin swaps itself in; End restores its predecessor with a
+// compare-and-swap, so an End racing with a concurrent goroutine's Begin
+// never clobbers the newer span: the CAS simply fails and that goroutine's
+// own End heals the chain. Under the single-goroutine training loops the
+// replay recorder targets, the edges are exact; concurrent spans (serving
+// runners, comm helpers) may at worst attach to the nearest enclosing
+// phase, never corrupt memory.
+var ambientSpan atomic.Uint64
+
 // poolSource reports the shared tensor pool's cumulative (gets, hits).
 // internal/tensor installs it at package init (before any goroutine can
 // profile), so reads here need no synchronization.
@@ -106,7 +121,13 @@ func KernelTier() string {
 const defaultMaxRecords = 1 << 16
 
 // Record is one completed span, timestamped relative to the Enable call.
+// ID and Parent carry the dependence edge the what-if replay engine
+// consumes: Parent is the ID of the span that was innermost when this one
+// began (0 for a root), so the flat completion-ordered timeline losslessly
+// encodes the step → phase → layer → kernel tree.
 type Record struct {
+	ID       uint64
+	Parent   uint64
 	Name     string
 	Cat      Cat
 	Start    time.Duration
@@ -163,7 +184,19 @@ func Enable() {
 	collector.mem = MemWatermark{}
 	collector.memTotal = 0
 	collector.mu.Unlock()
+	nextSpanID.Store(0)
+	ambientSpan.Store(0)
 	enabled.Store(true)
+}
+
+// EnableWithMaxRecords starts a fresh capture whose retained timeline
+// holds up to n records before Dropped starts counting — the knob the
+// trace recorder uses so a full-fidelity run never silently truncates
+// the spans replay needs. n <= 0 selects the default cap. Like
+// SetMaxRecords, the cap persists until changed again.
+func EnableWithMaxRecords(n int) {
+	SetMaxRecords(n)
+	Enable()
 }
 
 // Disable stops the capture, freezing the wall-clock span that Stats
@@ -197,18 +230,23 @@ func SetMaxRecords(n int) {
 // carries no conditionals. Spans are values: they live on the
 // instrumented function's stack and never allocate.
 type Span struct {
-	name  string
-	t0    time.Time
-	flops float64
-	bytes int64
-	g0    uint64
-	h0    uint64
-	cat   Cat
+	name    string
+	t0      time.Time
+	flops   float64
+	bytes   int64
+	g0      uint64
+	h0      uint64
+	id      uint64
+	parent  uint64
+	prevAmb uint64
+	cat     Cat
 }
 
 // Begin opens a span. name must be a preexisting string (a constant or a
 // stored layer name) — building one at the call site would allocate even
-// when profiling is off.
+// when profiling is off. The span's parent edge attaches to the innermost
+// span currently open (the ambient parent), which is exact on the
+// single-goroutine training path.
 func Begin(cat Cat, name string) Span {
 	if !enabled.Load() {
 		return Span{}
@@ -217,7 +255,32 @@ func Begin(cat Cat, name string) Span {
 	if poolSource != nil {
 		g, h = poolSource()
 	}
-	return Span{name: name, cat: cat, g0: g, h0: h, t0: time.Now()}
+	id := nextSpanID.Add(1)
+	prev := ambientSpan.Swap(id)
+	return Span{name: name, cat: cat, g0: g, h0: h, id: id, parent: prev, prevAmb: prev, t0: time.Now()}
+}
+
+// BeginChild opens a span whose parent edge is pinned to an explicit
+// enclosing span rather than inferred from the ambient chain — the idiom
+// the train-step drivers use so phase spans always hang off their step
+// even if a concurrent goroutine disturbed the ambient parent. A nil or
+// inactive parent yields a root span. Like Begin, the returned span
+// becomes the new ambient parent for spans opened inside it.
+func BeginChild(parent *Span, cat Cat, name string) Span {
+	if !enabled.Load() {
+		return Span{}
+	}
+	var g, h uint64
+	if poolSource != nil {
+		g, h = poolSource()
+	}
+	var pid uint64
+	if parent != nil {
+		pid = parent.id
+	}
+	id := nextSpanID.Add(1)
+	prev := ambientSpan.Swap(id)
+	return Span{name: name, cat: cat, g0: g, h0: h, id: id, parent: pid, prevAmb: prev, t0: time.Now()}
 }
 
 // Active reports whether the span is recording, so callers can skip
@@ -241,6 +304,10 @@ func (s *Span) End() {
 	if poolSource != nil {
 		g, h = poolSource()
 	}
+	// Restore the ambient parent only if this span is still the innermost
+	// one; a failed CAS means a concurrent Begin superseded it and that
+	// span's End will restore its own predecessor.
+	ambientSpan.CompareAndSwap(s.id, s.prevAmb)
 	collector.mu.Lock()
 	defer collector.mu.Unlock()
 	start := s.t0.Sub(collector.epoch)
@@ -264,6 +331,8 @@ func (s *Span) End() {
 		return
 	}
 	collector.recs = append(collector.recs, Record{
+		ID:       s.id,
+		Parent:   s.parent,
 		Name:     s.name,
 		Cat:      s.cat,
 		Start:    start,

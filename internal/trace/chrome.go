@@ -18,15 +18,29 @@ type ChromeWriter struct {
 }
 
 // chromeEvent is one trace_event record. Field order is part of the
-// golden-file contract in chrome_test.go.
+// golden-file contract in chrome_test.go; the optional tail fields
+// (id, bp, args) serialize only for events that carry dependence
+// information, so producers without span edges emit the legacy bytes.
 type chromeEvent struct {
 	Name string  `json:"name"`
 	Cat  string  `json:"cat"`
 	Ph   string  `json:"ph"`
-	TS   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
+	TS   float64 `json:"ts"`            // microseconds
+	Dur  float64 `json:"dur,omitempty"` // microseconds (complete events)
 	PID  int     `json:"pid"`
 	TID  int     `json:"tid"`
+	// ID links the two halves of a flow arrow ("ph":"s"/"f").
+	ID uint64 `json:"id,omitempty"`
+	// BP is "e" on flow-finish events: bind to the enclosing slice.
+	BP   string      `json:"bp,omitempty"`
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the span's dependence edge into the viewer's
+// event-detail pane.
+type chromeArgs struct {
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // Complete appends one complete ("ph":"X") event. Times are in seconds;
@@ -37,6 +51,27 @@ func (cw *ChromeWriter) Complete(name, cat string, startSec, durSec float64, pid
 		TS: startSec * 1e6, Dur: durSec * 1e6,
 		PID: pid, TID: tid,
 	})
+}
+
+// CompleteSpan appends a complete event annotated with its dependence
+// edge (the live profiler's span id and parent id), shown in the
+// viewer's args pane. id 0 falls back to a plain Complete.
+func (cw *ChromeWriter) CompleteSpan(name, cat string, startSec, durSec float64, pid, tid int, id, parent uint64) {
+	cw.Complete(name, cat, startSec, durSec, pid, tid)
+	if id != 0 {
+		cw.events[len(cw.events)-1].Args = &chromeArgs{Span: id, Parent: parent}
+	}
+}
+
+// Flow appends a flow arrow from (fromSec) to (toSec) on one track: a
+// flow-start ("s") event and a flow-finish ("f") event bound to the
+// enclosing slice, sharing the given flow id. Viewers draw it as an
+// arrow between the two slices containing the endpoints.
+func (cw *ChromeWriter) Flow(name, cat string, fromSec, toSec float64, pid, tid int, id uint64) {
+	cw.events = append(cw.events,
+		chromeEvent{Name: name, Cat: cat, Ph: "s", TS: fromSec * 1e6, PID: pid, TID: tid, ID: id},
+		chromeEvent{Name: name, Cat: cat, Ph: "f", TS: toSec * 1e6, PID: pid, TID: tid, ID: id, BP: "e"},
+	)
 }
 
 // Len reports the number of buffered events.
@@ -58,11 +93,26 @@ func (cw *ChromeWriter) Write(w io.Writer) error {
 // WriteProfChrome renders live-profiler span records (a real training or
 // serving run captured by internal/prof) as a Chrome trace. Spans from
 // one goroutine nest by time containment exactly as the viewer expects;
-// concurrent trainers interleave on the single track.
+// concurrent trainers interleave on the single track. Records that carry
+// dependence edges (span IDs from the what-if recorder) annotate each
+// slice with its span/parent pair, and communication spans additionally
+// get flow arrows from their parent phase — the cross-rank dependence
+// the cluster traces exist to show.
 func WriteProfChrome(w io.Writer, recs []prof.Record) error {
 	var cw ChromeWriter
+	startOf := make(map[uint64]float64, len(recs))
 	for _, r := range recs {
-		cw.Complete(r.Name, r.Cat.String(), r.Start.Seconds(), r.Dur.Seconds(), 0, 0)
+		if r.ID != 0 {
+			startOf[r.ID] = r.Start.Seconds()
+		}
+	}
+	for _, r := range recs {
+		cw.CompleteSpan(r.Name, r.Cat.String(), r.Start.Seconds(), r.Dur.Seconds(), 0, 0, r.ID, r.Parent)
+		if r.Cat == prof.CatComm && r.Parent != 0 {
+			if ps, ok := startOf[r.Parent]; ok {
+				cw.Flow("dep", "flow", ps, r.Start.Seconds(), 0, 0, r.ID)
+			}
+		}
 	}
 	return cw.Write(w)
 }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -21,17 +22,21 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 // must produce byte-identical output.
 const goldenPath = "testdata/chrome_golden.json"
 
-func checkGolden(t *testing.T, got []byte) {
+// edgesGoldenPath pins the annotated shape: span/parent args on every
+// slice and flow arrows into comm spans.
+const edgesGoldenPath = "testdata/chrome_edges_golden.json"
+
+func checkGolden(t *testing.T, path string, got []byte) {
 	t.Helper()
 	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	want, err := os.ReadFile(goldenPath)
+	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("read golden (run with -update-golden to create): %v", err)
 	}
@@ -51,7 +56,7 @@ func TestChromeWriterGolden(t *testing.T) {
 	if err := cw.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, buf.Bytes())
+	checkGolden(t, goldenPath, buf.Bytes())
 }
 
 // TestTimelineChromeMatchesWriter proves the sim timeline rides the same
@@ -73,7 +78,7 @@ func TestTimelineChromeMatchesWriter(t *testing.T) {
 	if err := cw.Write(&buf); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, buf.Bytes())
+	checkGolden(t, goldenPath, buf.Bytes())
 
 	// And the timeline's own method emits the identical structure with the
 	// class-derived category.
@@ -99,7 +104,7 @@ func TestWriteProfChromeGolden(t *testing.T) {
 	if err := WriteProfChrome(&buf, recs); err != nil {
 		t.Fatal(err)
 	}
-	checkGolden(t, buf.Bytes())
+	checkGolden(t, goldenPath, buf.Bytes())
 }
 
 func TestChromeWriterEmpty(t *testing.T) {
@@ -110,5 +115,88 @@ func TestChromeWriterEmpty(t *testing.T) {
 	}
 	if got := buf.String(); got != "{\"traceEvents\":[]}\n" {
 		t.Fatalf("empty trace = %q", got)
+	}
+}
+
+// TestWriteProfChromeEdgesGolden drives the exporter with records that
+// carry dependence edges: every slice gains span/parent args, and the
+// comm span under the sync phase gets a flow arrow from its parent.
+func TestWriteProfChromeEdgesGolden(t *testing.T) {
+	recs := []prof.Record{
+		{ID: 1, Parent: 0, Name: "step", Cat: prof.CatPhase, Start: 0, Dur: 4 * time.Millisecond},
+		{ID: 2, Parent: 1, Name: "phase.forward", Cat: prof.CatPhase, Start: 100 * time.Microsecond, Dur: time.Millisecond},
+		{ID: 3, Parent: 2, Name: "gemm", Cat: prof.CatKernel, Start: 200 * time.Microsecond, Dur: 500 * time.Microsecond},
+		{ID: 4, Parent: 1, Name: "comm.ring.allreduce", Cat: prof.CatComm, Start: 2 * time.Millisecond, Dur: time.Millisecond, Bytes: 1 << 20},
+	}
+	var buf bytes.Buffer
+	if err := WriteProfChrome(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, edgesGoldenPath, buf.Bytes())
+	// Structural checks so a golden regeneration cannot silently drop the
+	// annotations: 4 slices + one flow pair.
+	out := buf.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, `"bp":"e"`, `"args":{"span":3,"parent":2}`, `"name":"dep"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("edge annotation %s missing from: %s", want, out)
+		}
+	}
+	if strings.Count(out, `"ph":"X"`) != 4 || strings.Count(out, `"id":4`) != 2 {
+		t.Fatalf("want 4 slices and one flow pair with id 4: %s", out)
+	}
+}
+
+// TestProfCaptureEdgeIntegrity records a real nested capture and checks
+// the span-edge invariants replay depends on: every non-root span's
+// parent is a recorded span whose interval contains the child's Begin,
+// and parent chains terminate (no cycles).
+func TestProfCaptureEdgeIntegrity(t *testing.T) {
+	prof.Enable()
+	for step := 0; step < 3; step++ {
+		st := prof.Begin(prof.CatPhase, "step")
+		fwd := prof.BeginChild(&st, prof.CatPhase, "phase.forward")
+		for k := 0; k < 4; k++ {
+			sp := prof.Begin(prof.CatKernel, "gemm")
+			sp.End()
+		}
+		fwd.End()
+		upd := prof.BeginChild(&st, prof.CatPhase, "phase.update")
+		upd.End()
+		st.End()
+	}
+	prof.Disable()
+	recs := prof.Records()
+	if len(recs) != 3*7 {
+		t.Fatalf("got %d records, want 21", len(recs))
+	}
+	byID := map[uint64]prof.Record{}
+	for _, r := range recs {
+		if r.ID == 0 {
+			t.Fatalf("record %q has no span id", r.Name)
+		}
+		byID[r.ID] = r
+	}
+	roots := 0
+	for _, r := range recs {
+		if r.Parent == 0 {
+			roots++
+			continue
+		}
+		p, ok := byID[r.Parent]
+		if !ok {
+			t.Fatalf("span %d (%q) has unrecorded parent %d", r.ID, r.Name, r.Parent)
+		}
+		if r.Start < p.Start || r.Start > p.Start+p.Dur {
+			t.Fatalf("span %q began outside its parent %q's interval", r.Name, p.Name)
+		}
+		hops := 0
+		for id := r.Parent; id != 0; id = byID[id].Parent {
+			if hops++; hops > len(recs) {
+				t.Fatalf("parent cycle through span %d", r.ID)
+			}
+		}
+	}
+	if roots != 3 {
+		t.Fatalf("got %d roots, want the 3 step spans", roots)
 	}
 }

@@ -1,17 +1,22 @@
-package memprof
+package whatif
 
 import (
 	"sort"
 
 	"tbd/internal/device"
 	"tbd/internal/kernels"
+	"tbd/internal/memprof"
 )
 
-// Per-layer attribution and what-if analysis: the paper's concluding
+// Op-level memory what-ifs, unified here from memprof so one package
+// answers every "what would happen if" question. The paper's concluding
 // recommendation is that memory optimization for training should target
 // feature maps, citing vDNN (Rhu et al.) which offloads them to host
-// memory. These APIs quantify both: which ops hold the memory, and what
-// offloading their stashes would cost in PCIe traffic.
+// memory. These APIs quantify both sides for a model description (a
+// kernels.Op list): which ops hold the memory, and what offloading their
+// stashes would cost in PCIe traffic. The trace-level equivalent — an
+// `offload=` scenario clause against a recorded watermark — lives in
+// replay.go.
 
 // Consumer is one op's memory contribution.
 type Consumer struct {
@@ -59,8 +64,8 @@ type OffloadPlan struct {
 // PlanOffload greedily offloads the largest feature-map stashes until the
 // footprint fits targetBytes (or everything offloadable has moved),
 // returning the freed memory and the PCIe cost — the trade vDNN makes.
-func PlanOffload(ops []*kernels.Op, batch int, p Policy, targetBytes int64, bus *device.Interconnect) OffloadPlan {
-	base := ProfileOps(ops, batch, p)
+func PlanOffload(ops []*kernels.Op, batch int, p memprof.Policy, targetBytes int64, bus *device.Interconnect) OffloadPlan {
+	base := memprof.ProfileOps(ops, batch, p)
 	plan := OffloadPlan{RemainingFootprint: base.Total()}
 	if base.Total() <= targetBytes {
 		return plan

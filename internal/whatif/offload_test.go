@@ -1,11 +1,29 @@
-package memprof
+package whatif
 
 import (
 	"testing"
 
 	"tbd/internal/device"
 	"tbd/internal/kernels"
+	"tbd/internal/memprof"
 )
+
+// cnnOps is a ResNet-ish op list: 16 conv/bn/relu blocks and a
+// classifier head (mirrors the memprof test fixture the planner was
+// validated against before moving here).
+func cnnOps() []*kernels.Op {
+	var ops []*kernels.Op
+	c, h := 64, 56
+	for i := 0; i < 16; i++ {
+		ops = append(ops,
+			&kernels.Op{Name: "conv", Kind: kernels.OpConv2D, InC: c, OutC: c, H: h, W: h, K: 3, Stride: 1, Pad: 1},
+			&kernels.Op{Name: "bn", Kind: kernels.OpBatchNorm, Channels: c, H: h, W: h},
+			&kernels.Op{Name: "relu", Kind: kernels.OpActivation, Channels: c, H: h, W: h},
+		)
+	}
+	ops = append(ops, &kernels.Op{Name: "fc", Kind: kernels.OpDense, In: 2048, Out: 1000, Rows: 1})
+	return ops
+}
 
 func TestTopConsumersSortedAndBounded(t *testing.T) {
 	ops := cnnOps()
@@ -42,9 +60,9 @@ func TestTopConsumersScaleWithBatch(t *testing.T) {
 
 func TestPlanOffloadReachesTarget(t *testing.T) {
 	ops := cnnOps()
-	base := ProfileOps(ops, 32, DefaultPolicy())
+	base := memprof.ProfileOps(ops, 32, memprof.DefaultPolicy())
 	target := base.Total() / 2
-	plan := PlanOffload(ops, 32, DefaultPolicy(), target, device.PCIe3)
+	plan := PlanOffload(ops, 32, memprof.DefaultPolicy(), target, device.PCIe3)
 	if !plan.Fits(target) {
 		t.Fatalf("offload plan failed to reach target: %d > %d", plan.RemainingFootprint, target)
 	}
@@ -62,7 +80,7 @@ func TestPlanOffloadReachesTarget(t *testing.T) {
 
 func TestPlanOffloadNoopWhenFits(t *testing.T) {
 	ops := cnnOps()
-	plan := PlanOffload(ops, 8, DefaultPolicy(), 1<<40, device.PCIe3)
+	plan := PlanOffload(ops, 8, memprof.DefaultPolicy(), 1<<40, device.PCIe3)
 	if plan.OffloadedBytes != 0 || plan.TransferSecPerIter != 0 {
 		t.Fatal("plan should be empty when the footprint already fits")
 	}
@@ -72,9 +90,9 @@ func TestPlanOffloadGreedyMinimizesTransfers(t *testing.T) {
 	// Greedy-largest-first offloads fewer tensors than offloading the
 	// smallest ops first would.
 	ops := cnnOps()
-	base := ProfileOps(ops, 32, DefaultPolicy())
+	base := memprof.ProfileOps(ops, 32, memprof.DefaultPolicy())
 	target := base.Total() * 3 / 4
-	plan := PlanOffload(ops, 32, DefaultPolicy(), target, device.PCIe3)
+	plan := PlanOffload(ops, 32, memprof.DefaultPolicy(), target, device.PCIe3)
 	if len(plan.OffloadedOps) > len(ops)/2 {
 		t.Fatalf("greedy plan moved %d of %d ops for a 25%% reduction", len(plan.OffloadedOps), len(ops))
 	}
@@ -82,10 +100,10 @@ func TestPlanOffloadGreedyMinimizesTransfers(t *testing.T) {
 
 func TestOffloadSlowerOnEthernetThanPCIe(t *testing.T) {
 	ops := cnnOps()
-	base := ProfileOps(ops, 32, DefaultPolicy())
+	base := memprof.ProfileOps(ops, 32, memprof.DefaultPolicy())
 	target := base.Total() / 2
-	pcie := PlanOffload(ops, 32, DefaultPolicy(), target, device.PCIe3)
-	eth := PlanOffload(ops, 32, DefaultPolicy(), target, device.Ethernet)
+	pcie := PlanOffload(ops, 32, memprof.DefaultPolicy(), target, device.PCIe3)
+	eth := PlanOffload(ops, 32, memprof.DefaultPolicy(), target, device.Ethernet)
 	if eth.TransferSecPerIter <= pcie.TransferSecPerIter {
 		t.Fatal("slower bus must cost more transfer time")
 	}

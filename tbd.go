@@ -26,6 +26,7 @@ import (
 	"tbd/internal/sim"
 	"tbd/internal/tensor"
 	"tbd/internal/trace"
+	"tbd/internal/whatif"
 )
 
 // BenchmarkInfo describes one entry of the suite (Table 2).
@@ -434,7 +435,7 @@ func TopMemoryConsumers(model string, batch, n int) ([]MemoryConsumer, error) {
 		return nil, err
 	}
 	var out []MemoryConsumer
-	for _, c := range memprof.TopConsumers(m.Ops(), m.SamplesForBatch(batch), n) {
+	for _, c := range whatif.TopConsumers(m.Ops(), m.SamplesForBatch(batch), n) {
 		out = append(out, MemoryConsumer{
 			Op: c.Op, Layer: c.Kind.String(),
 			FeatureMapBytes: c.FeatureMapBytes, WeightBytes: c.WeightBytes,
@@ -466,7 +467,7 @@ func AnalyzeOffload(model, fw string, batch int, targetBytes int64) (OffloadAnal
 	if err != nil {
 		return OffloadAnalysis{}, err
 	}
-	plan := memprof.PlanOffload(m.Ops(), m.SamplesForBatch(batch), f.MemPolicy, targetBytes, device.PCIe3)
+	plan := whatif.PlanOffload(m.Ops(), m.SamplesForBatch(batch), f.MemPolicy, targetBytes, device.PCIe3)
 	return OffloadAnalysis{
 		FreedBytes:         plan.OffloadedBytes,
 		RemainingBytes:     plan.RemainingFootprint,
