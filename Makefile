@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all check build vet lint test race tier-race serve-race prof-race dist-race whatif-race bench bench-serve bench-prof bench-dist bench-whatif bench-all bench-compare bench-gate whatif-record cover reproduce observations examples clean
+.PHONY: all check build vet lint test race tier-race serve-race prof-race dist-race whatif-race analysis-race bench bench-serve bench-prof bench-dist bench-whatif bench-all bench-compare bench-gate whatif-record cover reproduce observations examples clean
 
 all: check
 
-check: build vet lint test race tier-race serve-race prof-race dist-race whatif-race
+check: build vet lint test race tier-race serve-race prof-race dist-race whatif-race analysis-race
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis (see internal/analysis): pool lifetimes,
-# profiler span balance, kernel determinism, lock annotations, and
-# discarded errors. The tree must stay at zero findings.
+# Repo-specific static analysis (see internal/analysis): pool lifetimes
+# (interprocedural), profiler span balance, kernel determinism, lock
+# annotations verified across call boundaries, discarded errors,
+# atomic/plain mixed access, goroutine shutdown edges, and wire-kind
+# coverage. The tree must stay at zero findings; -stats keeps the lint
+# cost observable as the analyzer count grows.
 lint:
-	$(GO) run ./cmd/tbdvet ./...
+	$(GO) run ./cmd/tbdvet -stats ./...
 
 test:
 	$(GO) test ./...
@@ -57,6 +60,12 @@ whatif-race:
 	$(GO) test -race ./internal/whatif/...
 	$(GO) test -race -run 'Whatif' .
 
+# Race detector over the analysis engine itself: the parallel driver
+# typechecks and checks packages concurrently, so its own worker pool and
+# the locked importer must be race-clean.
+analysis-race:
+	$(GO) test -race ./internal/analysis/...
+
 # Numeric-backend micro-benchmarks (blocked GEMM, conv, twin step),
 # machine-readable for regression tracking.
 bench:
@@ -79,7 +88,7 @@ bench-prof:
 # One iteration per cell — the throttled links make timings repeatable.
 bench-dist:
 	$(GO) test -run '^$$' -bench 'Dist' -benchtime 1x -benchmem -json . > BENCH_dist.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_prof.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_dist.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
 # What-if predictor benchmarks: ground-truth prediction error per cell
 # (pred-err-pct, deterministic replay of the committed golden traces),

@@ -1,12 +1,16 @@
 // Command tbdvet is the repo's custom static analyzer: it loads every
 // package named by the patterns (default ./...) with go/parser and
-// go/types and runs the five invariant checks in internal/analysis —
-// poolcheck, spancheck, determinism, lockcheck, and errcheck-lite.
+// go/types and runs the eight invariant checks in internal/analysis —
+// poolcheck, spancheck, determinism, lockcheck, errcheck-lite,
+// atomiccheck, goleak, and wirecheck — over the phase-1 interprocedural
+// summaries.
 //
 //	tbdvet ./...                      # human-readable findings
 //	tbdvet -json ./...                # machine-readable (report.Table JSON)
 //	tbdvet -list                      # describe the analyzers
 //	tbdvet -analyzers poolcheck ./... # run a subset
+//	tbdvet -cpu 1 ./...               # serial run (output is identical)
+//	tbdvet -stats ./...               # engine cost: packages, summaries, wall
 //
 // Exit status: 0 when the tree is clean, 1 when there are findings,
 // 2 when loading or typechecking failed. `make lint` runs it at zero
@@ -18,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"tbd/internal/analysis"
 	"tbd/internal/report"
@@ -29,6 +35,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON (report.Table row objects)")
 	list := flag.Bool("list", false, "list the analyzers and the invariants they enforce")
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	cpu := flag.Int("cpu", runtime.NumCPU(), "worker count for typechecking and checking (1 = serial; output is byte-identical either way)")
+	stats := flag.Bool("stats", false, "print engine statistics (packages, functions, summaries, wall time) to stderr")
 	flag.Parse()
 
 	if *list {
@@ -59,13 +67,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tbdvet:", err)
 		os.Exit(2)
 	}
+	loader.Workers = *cpu
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tbdvet:", err)
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	diags, st := analysis.RunParallel(pkgs, analyzers, *cpu)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "tbdvet: %d packages, %d functions, %d summaries, %d workers, %s\n",
+			st.Packages, st.Functions, st.Summaries, *cpu, st.Wall.Round(time.Millisecond))
+	}
 	if *jsonOut {
 		tbl := &report.Table{
 			Title:   "tbdvet findings",

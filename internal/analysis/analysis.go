@@ -1,25 +1,58 @@
-// Package analysis is tbd's custom lint driver: five repo-specific
+// Package analysis is tbd's custom lint engine: eight repo-specific
 // analyzers, built on nothing but the standard library's go/parser,
 // go/ast, and go/types, that enforce the engine invariants the Go
-// compiler cannot see. Each analyzer guards a bug class this codebase
-// has already paid to find once:
+// compiler cannot see.
+//
+// # Two-phase architecture
+//
+// The engine runs in two phases. Phase 1 (summarize) builds a Program
+// over every loaded package: a call graph keyed by qualified function
+// name plus per-function effect summaries — which parameters a function
+// releases, borrows, or sinks (pooled-buffer flow), whether it hands a
+// fresh pool acquisition back to its caller, and (per package) which
+// mutexes a function locks or requires held at entry. Summaries are
+// computed to a fixpoint, so wrappers of wrappers summarize correctly.
+// Phase 2 (check) runs the analyzers; because the summaries are frozen
+// after phase 1, packages are checked concurrently (see RunParallel)
+// with findings merged and re-sorted so output is byte-identical to a
+// serial run.
+//
+// Each analyzer guards a bug class this codebase has already paid to
+// find once:
 //
 //   - poolcheck: every tensor.Pool acquisition must be released,
 //     returned, or stashed under the documented one-step lifetime
-//     contract (the PR-1 wide-kernel review bug class).
+//     contract — including acquisitions that flow through callees
+//     (a helper that returns a fresh buffer obligates its caller; a
+//     helper that merely borrows a buffer does not discharge the
+//     caller's obligation; a helper that releases its argument counts
+//     as a release, and releasing again is a double release).
 //   - spancheck: every prof span Begin must reach End in the same
 //     function, so the profiler's phase accounting stays balanced.
-//   - determinism: kernel hot paths (internal/tensor, internal/kernels,
-//     internal/optim) must stay bit-identical across parallelism levels
-//     — no map iteration, wall clocks, or math/rand.
+//   - determinism: hot paths that must stay bit-identical across
+//     parallelism levels and replays (internal/tensor, internal/kernels,
+//     internal/optim, internal/whatif) — no map iteration, wall clocks,
+//     or math/rand.
 //   - lockcheck: struct fields annotated "guarded by <mu>" may only be
-//     touched by functions that lock that mutex (flow-insensitive).
+//     touched with that mutex held; //tbd:locked-by-caller claims are
+//     verified at every call site against the caller's own held set.
 //   - errcheck-lite: no silently discarded error returns in cmd/ and
 //     internal/serve.
+//   - atomiccheck: a field ever accessed through the function-style
+//     sync/atomic API is never accessed plainly elsewhere, and 64-bit
+//     atomic fields are 64-bit aligned in their structs.
+//   - goleak: every goroutine launched in the concurrent subsystems
+//     (internal/dist, internal/serve, internal/data, internal/prof) has
+//     a provable shutdown edge.
+//   - wirecheck: every constant of a //tbd:wire-kinds vocabulary appears
+//     on both the encode and the decode side of its hand-rolled
+//     protocol.
 //
 // Deliberate exceptions are annotated in source with //tbd: escape
-// comments (see the per-analyzer docs); the driver enforces that the
-// determinism escape carries a justification string.
+// comments (see the per-analyzer docs); escapes that can hide real bugs
+// (nondeterministic-ok, fire-and-forget, atomic-ok, wire-ok,
+// pre-publication) require a justification string — an empty one is
+// itself a finding.
 package analysis
 
 import (
@@ -30,6 +63,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one finding, positioned for file:line:col display and
@@ -53,12 +88,15 @@ type Analyzer struct {
 }
 
 // All is the full analyzer suite in reporting order.
-var All = []*Analyzer{Poolcheck, Spancheck, Determinism, Lockcheck, ErrcheckLite}
+var All = []*Analyzer{Poolcheck, Spancheck, Determinism, Lockcheck, ErrcheckLite, Atomiccheck, Goleak, Wirecheck}
 
 // Pass carries one (analyzer, package) run and collects its findings.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Prog is the phase-1 program: cross-package function index and
+	// effect summaries, read-only during the pass.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -72,14 +110,55 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run executes the given analyzers over the packages and returns the
-// findings sorted by position.
+// Stats describes one engine run, for tbdvet -stats.
+type Stats struct {
+	Packages  int
+	Functions int
+	Summaries int
+	Wall      time.Duration
+}
+
+// Run executes the given analyzers over the packages serially and
+// returns the findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunParallel(pkgs, analyzers, 1)
+	return diags
+}
+
+// RunParallel is Run with the phase-2 checks fanned out over a bounded
+// worker pool, one package at a time per worker. Phase 1 (the Program
+// build) stays serial — summaries must be complete before any check
+// reads them. The merged findings are re-sorted under a total order, so
+// the output is byte-identical to the serial run.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, Stats) {
+	start := time.Now()
+	prog := NewProgram(pkgs)
+	if workers < 1 {
+		workers = 1
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				for _, a := range analyzers {
+					a.Run(&Pass{Analyzer: a, Pkg: pkgs[i], Prog: prog, diags: &perPkg[i]})
+				}
+			}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
-		}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -92,9 +171,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
-	return diags
+	return diags, Stats{
+		Packages:  len(pkgs),
+		Functions: len(prog.Funcs),
+		Summaries: len(prog.Pool),
+		Wall:      time.Since(start),
+	}
 }
 
 // escapeRe matches a //tbd: escape comment and captures (tag, argument).
@@ -117,15 +204,22 @@ func (p *Pass) Escape(pos token.Pos, tag string) (arg string, ok bool) {
 
 // FuncEscape reports whether fn's doc comment carries //tbd:<tag>.
 func FuncEscape(fn *ast.FuncDecl, tag string) bool {
+	_, ok := FuncEscapeArg(fn, tag)
+	return ok
+}
+
+// FuncEscapeArg is FuncEscape returning the text after the tag (the
+// justification, possibly empty).
+func FuncEscapeArg(fn *ast.FuncDecl, tag string) (arg string, ok bool) {
 	if fn == nil || fn.Doc == nil {
-		return false
+		return "", false
 	}
 	for _, c := range fn.Doc.List {
 		if m := escapeRe.FindStringSubmatch(c.Text); m != nil && m[1] == tag {
-			return true
+			return strings.TrimSpace(m[2]), true
 		}
 	}
-	return false
+	return "", false
 }
 
 type escapeComment struct {
@@ -134,6 +228,8 @@ type escapeComment struct {
 }
 
 // escapeLines lazily indexes a file's //tbd: comments by line number.
+// The cache is built per package before any concurrent access matters:
+// analyzers for one package always run on the same worker.
 func (pkg *Package) escapeLines(filename string) map[int]escapeComment {
 	if pkg.escapes == nil {
 		pkg.escapes = make(map[string]map[int]escapeComment)
@@ -163,7 +259,7 @@ func (pkg *Package) escapeLines(filename string) map[int]escapeComment {
 // called by call: "path/to/pkg.Func" for package functions and
 // "path/to/pkg.Type.Method" for methods (pointer receivers unwrapped).
 // It returns "" for builtins, conversions, and calls of function values.
-func (p *Pass) calleeName(call *ast.CallExpr) string {
+func (pkg *Package) calleeName(call *ast.CallExpr) string {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -173,12 +269,14 @@ func (p *Pass) calleeName(call *ast.CallExpr) string {
 	default:
 		return ""
 	}
-	fn, ok := p.Pkg.Info.Uses[id].(*types.Func)
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
 	if !ok {
 		return ""
 	}
 	return qualifiedFuncName(fn)
 }
+
+func (p *Pass) calleeName(call *ast.CallExpr) string { return p.Pkg.calleeName(call) }
 
 func qualifiedFuncName(fn *types.Func) string {
 	sig, ok := fn.Type().(*types.Signature)
@@ -200,27 +298,31 @@ func qualifiedFuncName(fn *types.Func) string {
 }
 
 // objectOf resolves an identifier to its object (definition or use).
-func (p *Pass) objectOf(id *ast.Ident) types.Object {
-	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+func (pkg *Package) objectOf(id *ast.Ident) types.Object {
+	if obj := pkg.Info.Defs[id]; obj != nil {
 		return obj
 	}
-	return p.Pkg.Info.Uses[id]
+	return pkg.Info.Uses[id]
 }
 
+func (p *Pass) objectOf(id *ast.Ident) types.Object { return p.Pkg.objectOf(id) }
+
 // mentions reports whether expr references the variable v anywhere.
-func (p *Pass) mentions(n ast.Node, v types.Object) bool {
+func (pkg *Package) mentions(n ast.Node, v types.Object) bool {
 	if n == nil || v == nil {
 		return false
 	}
 	found := false
 	ast.Inspect(n, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && p.objectOf(id) == v {
+		if id, ok := n.(*ast.Ident); ok && pkg.objectOf(id) == v {
 			found = true
 		}
 		return !found
 	})
 	return found
 }
+
+func (p *Pass) mentions(n ast.Node, v types.Object) bool { return p.Pkg.mentions(n, v) }
 
 // funcBodies yields every function body in the package — declarations
 // and function literals — paired with the enclosing declaration (nil Doc

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -113,6 +114,39 @@ func TestLockcheckFixture(t *testing.T) {
 	runFixture(t, Lockcheck, "lockcheck", "fix/lockcheck", "sync")
 }
 
+func TestAtomiccheckFixture(t *testing.T) {
+	runFixture(t, Atomiccheck, "atomiccheck", "fix/atomiccheck", "sync/atomic")
+}
+
+func TestGoleakFixture(t *testing.T) {
+	// The synthetic import path places the fixture inside the analyzer's
+	// concurrent-subsystem scope.
+	runFixture(t, Goleak, "goleak", "tbd/internal/dist/fixleak", "sync")
+}
+
+func TestGoleakIgnoresOutOfScope(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	// Same files, out-of-scope import path: the analyzer must not fire.
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "goleak"), "fix/goleak", "sync")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if diags := Run([]*Package{pkg}, []*Analyzer{Goleak}); len(diags) != 0 {
+		t.Errorf("goleak fired outside dist/serve/data/prof: %v", diags)
+	}
+}
+
+func TestWirecheckFixture(t *testing.T) {
+	runFixture(t, Wirecheck, "wirecheck", "fix/wirecheck")
+}
+
+func TestInterprocPoolcheckFixture(t *testing.T) {
+	runFixture(t, Poolcheck, "interproc", "fix/interproc", "tbd/internal/tensor")
+}
+
 func TestErrcheckFixture(t *testing.T) {
 	runFixture(t, ErrcheckLite, "errcheck", "tbd/cmd/fix", "errors", "fmt", "os", "strings")
 }
@@ -141,6 +175,37 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Errorf("%d finding(s); fix them or annotate with //tbd: escapes", len(diags))
+	}
+}
+
+// TestParallelMatchesSerial pins the parallel driver's contract: a
+// multi-worker run over the whole module produces byte-identical output
+// to the serial run. Under -race (make analysis-race) it also shakes
+// out data races in the engine's own fan-out.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list over the whole module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.Workers = 8
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	render := func(diags []Diagnostic) string {
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintln(&b, d)
+		}
+		return b.String()
+	}
+	serial, _ := RunParallel(pkgs, All, 1)
+	parallel, _ := RunParallel(pkgs, All, 8)
+	if got, want := render(parallel), render(serial); got != want {
+		t.Errorf("parallel output differs from serial:\nserial:\n%s\nparallel:\n%s", want, got)
 	}
 }
 

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomiccheck enforces the all-or-nothing contract of the function-style
+// sync/atomic API: once any code path accesses a variable through
+// atomic.LoadX/StoreX/AddX/SwapX/CompareAndSwapX, every other access
+// must go through sync/atomic too — a single plain read or write
+// reintroduces the data race the atomics were bought to remove. It also
+// checks that every 64-bit atomically-accessed struct field sits at an
+// 8-byte-aligned offset under 32-bit layout rules ("gc"/386), the
+// alignment sync/atomic documents as the caller's responsibility on
+// 32-bit platforms.
+//
+// Typed atomics (atomic.Int64, atomic.Uint64, ...) are exempt: the type
+// system already forbids plain access, which is why the serving fleet
+// uses them. The escape is //tbd:atomic-ok <why> on the offending line;
+// the justification is mandatory.
+var Atomiccheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "variables accessed via sync/atomic are never accessed plainly, and 64-bit atomic fields are 64-bit aligned",
+	Run:  runAtomiccheck,
+}
+
+// align32 is the 32-bit layout sync/atomic's alignment bug bites under.
+var align32 = types.SizesFor("gc", "386")
+
+func runAtomiccheck(p *Pass) {
+	// Pass 1: every variable that is the address operand of a
+	// function-style sync/atomic call, plus the identifiers making up
+	// those operands (so pass 2 does not flag the atomic uses
+	// themselves).
+	atomicVars := map[types.Object]token.Pos{}
+	atomicUse := map[*ast.Ident]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(p, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			obj := markAtomicOperand(p, addr.X, atomicUse)
+			if obj != nil {
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: plain accesses to those variables.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicUse[id] {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, isAtomic := atomicVars[obj]; !isAtomic {
+				return true
+			}
+			if arg, ok := p.Escape(id.Pos(), "atomic-ok"); ok {
+				if arg == "" {
+					p.Reportf(id.Pos(), "//tbd:atomic-ok needs a justification (why is a plain access of %s race-free?)", obj.Name())
+				}
+				return true
+			}
+			p.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere but accessed plainly here; use the atomic API or //tbd:atomic-ok <why>", obj.Name())
+			return true
+		})
+	}
+
+	// Pass 3: 64-bit alignment of atomic struct fields under 32-bit
+	// layout.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[st]
+			if !ok {
+				return true
+			}
+			strct, ok := tv.Type.Underlying().(*types.Struct)
+			if !ok || strct.NumFields() == 0 {
+				return true
+			}
+			fields := make([]*types.Var, strct.NumFields())
+			for i := range fields {
+				fields[i] = strct.Field(i)
+			}
+			offsets := align32.Offsetsof(fields)
+			for i, fv := range fields {
+				if _, isAtomic := atomicVars[fv]; !isAtomic {
+					continue
+				}
+				if align32.Sizeof(fv.Type()) != 8 || offsets[i]%8 == 0 {
+					continue
+				}
+				pos := fieldDeclPos(p, st, fv)
+				if _, ok := p.Escape(pos, "atomic-ok"); ok {
+					continue
+				}
+				p.Reportf(pos, "64-bit atomic field %s is at offset %d under 32-bit layout; sync/atomic requires 8-byte alignment — move it to the front of the struct", fv.Name(), offsets[i])
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicFuncCall reports whether call invokes a package-level function
+// of sync/atomic (the typed atomics' methods do not count — they cannot
+// be misused).
+func isAtomicFuncCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// markAtomicOperand resolves the variable an atomic address operand
+// names (s.f -> field f, counter -> var counter), marking every
+// identifier inside the operand as a sanctioned atomic use.
+func markAtomicOperand(p *Pass, expr ast.Expr, atomicUse map[*ast.Ident]bool) types.Object {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			atomicUse[id] = true
+		}
+		return true
+	})
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := p.Pkg.objectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := p.Pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return markAtomicOperand(p, e.X, atomicUse)
+	}
+	return nil
+}
+
+// fieldDeclPos finds the declaration position of field fv inside the
+// struct literal st, falling back to the struct itself.
+func fieldDeclPos(p *Pass, st *ast.StructType, fv *types.Var) token.Pos {
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			if p.Pkg.Info.Defs[name] == fv {
+				return name.Pos()
+			}
+		}
+	}
+	return st.Pos()
+}

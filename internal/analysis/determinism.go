@@ -32,12 +32,14 @@ var Determinism = &Analyzer{
 
 // hotPathPrefixes are the packages (and their subpackages) holding code
 // that must be bit-identical across parallelism levels: the tensor
-// kernels and worker pool, the kernel cost models, and the fused
-// optimizer kernels.
+// kernels and worker pool, the kernel cost models, the fused
+// optimizer kernels, and the what-if replay engine (its golden-error
+// CI gate assumes bit-stable predictions).
 var hotPathPrefixes = []string{
 	"tbd/internal/tensor",
 	"tbd/internal/kernels",
 	"tbd/internal/optim",
+	"tbd/internal/whatif",
 }
 
 // nondetCalls are forbidden callees in hot paths.

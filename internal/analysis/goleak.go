@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Goleak demands a provable shutdown edge for every goroutine launched
+// in the concurrent subsystems (internal/dist, internal/serve,
+// internal/data, internal/prof): a leaked goroutine there pins
+// connections, pool buffers, or profiler state for the life of the
+// process, and the race detector cannot see a goroutine that merely
+// never exits. A `go` statement passes if any of these holds:
+//
+//   - WaitGroup pairing: the goroutine body calls Done on a
+//     sync.WaitGroup that some spawning code calls Add on.
+//   - close-channel edge: the body receives from (or ranges over, or
+//     selects on) a channel that is closed somewhere in the package.
+//   - bounded handoff: the body sends on a channel the spawning
+//     function receives from, so the goroutine cannot outlive the call
+//     that launched it.
+//
+// Named callees (go s.run()) are resolved through the phase-1 program
+// and their bodies checked in their own package's context. Deliberate
+// daemons carry //tbd:fire-and-forget <why> on the `go` line; the
+// justification is mandatory.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every goroutine in dist/serve/data/prof has a provable shutdown edge",
+	Run:  runGoleak,
+}
+
+// goleakPkgPrefixes scopes the check to the subsystems where a leaked
+// goroutine holds real resources.
+var goleakPkgPrefixes = []string{
+	"tbd/internal/dist",
+	"tbd/internal/serve",
+	"tbd/internal/data",
+	"tbd/internal/prof",
+}
+
+func runGoleak(p *Pass) {
+	inScope := false
+	for _, prefix := range goleakPkgPrefixes {
+		if p.Pkg.Path == prefix || strings.HasPrefix(p.Pkg.Path, prefix+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(p, fd, g)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(p *Pass, spawner *ast.FuncDecl, g *ast.GoStmt) {
+	if arg, ok := p.Escape(g.Pos(), "fire-and-forget"); ok {
+		if arg == "" {
+			p.Reportf(g.Pos(), "//tbd:fire-and-forget needs a justification (why may this goroutine outlive its spawner?)")
+		}
+		return
+	}
+
+	// Resolve the goroutine body: a literal right here, or a named
+	// function found through the phase-1 program (possibly in another
+	// package — its own package context is used for object resolution).
+	bodyPkg := p.Pkg
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if p.Prog != nil {
+		if fi := p.Prog.Funcs[p.calleeName(g.Call)]; fi != nil {
+			bodyPkg, body = fi.Pkg, fi.Decl.Body
+		}
+	}
+	if body == nil {
+		p.Reportf(g.Pos(), "cannot resolve goroutine body to prove a shutdown edge; launch a function declared in this module or annotate //tbd:fire-and-forget <why>")
+		return
+	}
+
+	sig := goroutineSignals(bodyPkg, body)
+
+	// Edge 1: WaitGroup pairing — Done in the body, Add on the same
+	// WaitGroup in the spawner or anywhere in the body's package.
+	for done := range sig.doneOn {
+		if pkgWaitGroupAdds(p.Pkg, spawner.Body)[done] || pkgWaitGroupAdds(bodyPkg, nil)[done] {
+			return
+		}
+	}
+	// Edge 2: the body receives from a channel that is closed in the
+	// spawner's or the body's package.
+	for recv := range sig.recvFrom {
+		if pkgClosedChans(p.Pkg)[recv] || pkgClosedChans(bodyPkg)[recv] {
+			return
+		}
+	}
+	// Edge 3: bounded handoff — the body sends on a channel the spawner
+	// receives from.
+	spawnerRecv := recvObjects(p.Pkg, spawner.Body)
+	for sent := range sig.sendOn {
+		if spawnerRecv[sent] {
+			return
+		}
+	}
+
+	p.Reportf(g.Pos(), "goroutine has no provable shutdown edge (WaitGroup Add/Done pairing, receive from a closed channel, or bounded handoff to the spawner); annotate //tbd:fire-and-forget <why> if this is a deliberate daemon")
+}
+
+// goroutineBody summarizes the shutdown-relevant operations of one
+// goroutine body.
+type goroutineBody struct {
+	doneOn   map[types.Object]bool // WaitGroups the body calls Done on
+	recvFrom map[types.Object]bool // channels received from / ranged / selected
+	sendOn   map[types.Object]bool // channels sent to
+}
+
+func goroutineSignals(pkg *Package, body *ast.BlockStmt) goroutineBody {
+	sig := goroutineBody{
+		doneOn:   map[types.Object]bool{},
+		recvFrom: map[types.Object]bool{},
+		sendOn:   map[types.Object]bool{},
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := waitGroupMethodRecv(pkg, n, "Done"); obj != nil {
+				sig.doneOn[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if obj := baseObject(pkg, n.X); obj != nil {
+					sig.recvFrom[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if isChanType(pkg, n.X) {
+				if obj := baseObject(pkg, n.X); obj != nil {
+					sig.recvFrom[obj] = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := baseObject(pkg, n.Chan); obj != nil {
+				sig.sendOn[obj] = true
+			}
+		}
+		return true
+	})
+	return sig
+}
+
+// pkgWaitGroupAdds collects the WaitGroup objects Add is called on — in
+// one body when given, else across the whole package.
+func pkgWaitGroupAdds(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	adds := map[types.Object]bool{}
+	collect := func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := waitGroupMethodRecv(pkg, call, "Add"); obj != nil {
+				adds[obj] = true
+			}
+		}
+		return true
+	}
+	if body != nil {
+		ast.Inspect(body, collect)
+		return adds
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, collect)
+	}
+	return adds
+}
+
+// pkgClosedChans collects the channel objects the package closes.
+func pkgClosedChans(pkg *Package) map[types.Object]bool {
+	closed := map[types.Object]bool{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "close" || pkg.Info.Uses[id] != types.Universe.Lookup("close") {
+				return true
+			}
+			if obj := baseObject(pkg, call.Args[0]); obj != nil {
+				closed[obj] = true
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// recvObjects collects the channel objects a body receives from.
+func recvObjects(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	recv := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if obj := baseObject(pkg, n.X); obj != nil {
+					recv[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if isChanType(pkg, n.X) {
+				if obj := baseObject(pkg, n.X); obj != nil {
+					recv[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return recv
+}
+
+// waitGroupMethodRecv returns the object the receiver of a
+// sync.WaitGroup method call resolves to, or nil if call is not
+// wg.<method>().
+func waitGroupMethodRecv(pkg *Package, call *ast.CallExpr, method string) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || !isNamedType(tv.Type, "sync", "WaitGroup") {
+		return nil
+	}
+	return baseObject(pkg, sel.X)
+}
+
+// baseObject resolves the variable an expression is rooted at:
+// s.wg -> field wg, chans[i] -> var chans, (&x).f -> field f.
+func baseObject(pkg *Package, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return pkg.objectOf(e)
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return baseObject(pkg, e.X)
+	case *ast.UnaryExpr:
+		return baseObject(pkg, e.X)
+	case *ast.StarExpr:
+		return baseObject(pkg, e.X)
+	}
+	return nil
+}
+
+func isChanType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and typechecked package ready for analysis.
@@ -48,6 +49,12 @@ type listEntry struct {
 type Loader struct {
 	// ModRoot is the module root directory (where go.mod lives).
 	ModRoot string
+	// Workers bounds the typechecking fan-out in Load; 0 or 1 means
+	// serial. Parsing and typechecking are per-package independent —
+	// token.FileSet is internally locked and the shared gc importer is
+	// wrapped in a mutex (its export-data cache is not) — so package
+	// order never affects positions or results.
+	Workers int
 
 	fset    *token.FileSet
 	exports map[string]string // import path -> export data file
@@ -61,14 +68,36 @@ func NewLoader(dir string) (*Loader, error) {
 		return nil, err
 	}
 	l := &Loader{ModRoot: root, fset: token.NewFileSet(), exports: map[string]string{}}
-	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+	l.imp = &lockedImporter{imp: importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := l.exports[path]
 		if !ok {
 			return nil, fmt.Errorf("analysis: no export data for %q", path)
 		}
 		return os.Open(f)
-	})
+	})}
 	return l, nil
+}
+
+// lockedImporter serializes access to the gc importer, whose package
+// cache is not safe for concurrent Import calls.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from, ok := l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return l.imp.Import(path)
 }
 
 // findModRoot walks up from dir until it finds go.mod.
@@ -98,16 +127,41 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
+	var targets []listEntry
 	for _, e := range entries {
-		if e.DepOnly {
-			continue
+		if !e.DepOnly {
+			targets = append(targets, e)
 		}
-		pkg, err := l.check(e.ImportPath, e.Dir, e.GoFiles)
+	}
+	workers := l.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	pkgs := make([]*Package, len(targets))
+	errs := make([]error, len(targets))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pkgs[i], errs[i] = l.check(targets[i].ImportPath, targets[i].Dir, targets[i].GoFiles)
+			}
+		}()
+	}
+	for i := range targets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil

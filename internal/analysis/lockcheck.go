@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"regexp"
+	"sort"
 )
 
 // Lockcheck ties struct fields to the mutex that guards them. A field
@@ -16,35 +17,202 @@ import (
 //		traceEvents []sim.Event // guarded by traceMu
 //	}
 //
-// The check is flow-insensitive and per-function: a function (or any
-// function literal it contains) that touches a guarded field must also
-// contain a <mu>.Lock() or <mu>.RLock() call, or carry a
-// //tbd:locked-by-caller annotation in its doc comment documenting that
-// its callers hold the lock. Matching is by types.Object, so anonymous
-// structs (package-level collector vars) and named types are handled
-// alike.
+// The check is flow-insensitive within a function but verified across
+// call boundaries: a function that touches a guarded field must lock
+// the mutex itself, or carry //tbd:locked-by-caller in its doc comment.
+// The annotation is no longer taken on faith — it turns the lock into a
+// precondition, and every call site is checked against the caller's own
+// held set. Preconditions propagate through chains of locked-by-caller
+// functions, so a wrapper of a helper still obligates the outermost
+// caller.
+//
+// Two escapes:
+//
+//   - //tbd:locked-by-caller — the function requires the guarding mutex
+//     held at entry; call sites are verified.
+//   - //tbd:pre-publication <why> — the function builds a struct before
+//     any other goroutine can see it (a constructor), so no lock is
+//     needed and call sites carry no obligation. The justification
+//     string is mandatory.
 var Lockcheck = &Analyzer{
 	Name: "lockcheck",
-	Doc:  "fields annotated \"guarded by <mu>\" are only touched under that mutex",
+	Doc:  "fields annotated \"guarded by <mu>\" are only touched under that mutex, verified across call boundaries",
 	Run:  runLockcheck,
 }
 
 var guardedByRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// lockFnState is lockcheck's per-function working state: the mutexes the
+// function locks anywhere in its body, and the mutexes it requires its
+// callers to hold (nonempty only for //tbd:locked-by-caller functions).
+type lockFnState struct {
+	fd             *ast.FuncDecl
+	name           string // qualified, "" if unresolvable
+	locked         map[types.Object]bool
+	requires       map[types.Object]bool
+	lockedByCaller bool
+	prePublication bool
+}
 
 func runLockcheck(p *Pass) {
 	guards := collectGuards(p)
 	if len(guards) == 0 {
 		return
 	}
+
+	var fns []*lockFnState
+	byName := map[string]*lockFnState{}
 	for _, f := range p.Pkg.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkGuardedAccesses(p, fd, guards)
+			st := &lockFnState{
+				fd:       fd,
+				locked:   lockedMutexes(p, fd.Body),
+				requires: map[types.Object]bool{},
+			}
+			st.lockedByCaller = FuncEscape(fd, "locked-by-caller")
+			if arg, ok := FuncEscapeArg(fd, "pre-publication"); ok {
+				st.prePublication = true
+				if arg == "" {
+					p.Reportf(fd.Pos(), "//tbd:pre-publication on %s needs a justification (why can no other goroutine see this struct yet?)", funcDisplayName(fd))
+				}
+			}
+			if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				st.name = qualifiedFuncName(fn)
+			}
+			fns = append(fns, st)
+			if st.name != "" {
+				byName[st.name] = st
+			}
 		}
 	}
+
+	// Pass 1: direct guarded accesses. A locked-by-caller function's
+	// unlocked accesses become preconditions instead of findings; a
+	// pre-publication function's accesses are excused outright.
+	for _, st := range fns {
+		if st.prePublication {
+			continue
+		}
+		st := st
+		ast.Inspect(st.fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[sel.Sel]
+			mu, guarded := guards[obj]
+			if !guarded || st.locked[mu] {
+				return true
+			}
+			if _, ok := p.Escape(sel.Pos(), "locked-by-caller"); ok {
+				return true
+			}
+			if st.lockedByCaller {
+				st.requires[mu] = true
+				return true
+			}
+			p.Reportf(sel.Sel.Pos(), "%s is guarded by %s but %s does not lock it (annotate the function //tbd:locked-by-caller if its callers hold the lock)",
+				sel.Sel.Name, mu.Name(), funcDisplayName(st.fd))
+			return true
+		})
+	}
+
+	// Pass 2: propagate preconditions through chains of locked-by-caller
+	// functions to a fixpoint — a locked-by-caller wrapper that calls a
+	// locked-by-caller helper inherits whatever the helper requires and
+	// does not itself lock.
+	for changed := true; changed; {
+		changed = false
+		for _, st := range fns {
+			if !st.lockedByCaller {
+				continue
+			}
+			st := st
+			ast.Inspect(st.fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := byName[p.calleeName(call)]
+				if callee == nil {
+					return true
+				}
+				for mu := range callee.requires {
+					if !st.locked[mu] && !st.requires[mu] {
+						st.requires[mu] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 3: verify every call into a precondition-carrying function
+	// happens with the required mutexes held by the caller.
+	for _, st := range fns {
+		if st.lockedByCaller || st.prePublication {
+			continue
+		}
+		st := st
+		ast.Inspect(st.fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := byName[p.calleeName(call)]
+			if callee == nil || len(callee.requires) == 0 {
+				return true
+			}
+			if _, ok := p.Escape(call.Pos(), "locked-by-caller"); ok {
+				return true
+			}
+			for _, mu := range sortedMutexes(callee.requires) {
+				if !st.locked[mu] {
+					p.Reportf(call.Pos(), "call to %s requires %s held (//tbd:locked-by-caller) but %s does not lock it",
+						funcDisplayName(callee.fd), mu.Name(), funcDisplayName(st.fd))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sortedMutexes orders a mutex set by name for deterministic reports.
+func sortedMutexes(set map[types.Object]bool) []types.Object {
+	objs := make([]types.Object, 0, len(set))
+	for mu := range set {
+		objs = append(objs, mu)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Name() < objs[j].Name() })
+	return objs
+}
+
+// lockedMutexes collects every mutex the body locks anywhere, including
+// deferred calls and closures — flow-insensitive.
+func lockedMutexes(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	locked := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			if obj := p.Pkg.Info.Uses[muSel.Sel]; obj != nil {
+				locked[obj] = true
+			}
+		}
+		return true
+	})
+	return locked
 }
 
 // collectGuards maps each annotated field object to the mutex field
@@ -98,51 +266,6 @@ func guardAnnotation(fld *ast.Field) string {
 		}
 	}
 	return ""
-}
-
-// checkGuardedAccesses verifies every guarded-field access in fd happens
-// in a function that locks the guarding mutex.
-func checkGuardedAccesses(p *Pass, fd *ast.FuncDecl, guards map[types.Object]types.Object) {
-	if FuncEscape(fd, "locked-by-caller") {
-		return
-	}
-	// Pass 1: which mutexes does this function lock (anywhere, including
-	// deferred calls and closures — flow-insensitive)?
-	locked := map[types.Object]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		if muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
-			if obj := p.Pkg.Info.Uses[muSel.Sel]; obj != nil {
-				locked[obj] = true
-			}
-		}
-		return true
-	})
-	// Pass 2: flag guarded accesses without the lock.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		obj := p.Pkg.Info.Uses[sel.Sel]
-		mu, guarded := guards[obj]
-		if !guarded || locked[mu] {
-			return true
-		}
-		if _, ok := p.Escape(sel.Pos(), "locked-by-caller"); ok {
-			return true
-		}
-		p.Reportf(sel.Sel.Pos(), "%s is guarded by %s but %s does not lock it (annotate the function //tbd:locked-by-caller if its callers hold the lock)",
-			sel.Sel.Name, mu.Name(), funcDisplayName(fd))
-		return true
-	})
 }
 
 func funcDisplayName(fd *ast.FuncDecl) string {

@@ -29,10 +29,16 @@ import (
 //     "l.out.Release(); ...; l.out = out"), or the stash carries a
 //     //tbd:retain annotation naming the site that releases it.
 //
-// Passing the buffer to another call, storing it in a container, or
-// capturing it in a closure is treated as an ownership transfer
-// (conservatively silent): the analyzer is flow-insensitive across call
-// boundaries.
+// The check is interprocedural through the phase-1 summaries: a call to
+// a function that RETURNS a fresh acquisition is itself an acquisition
+// (leak-through-callee); a call passing the buffer to a function that
+// RELEASES its parameter counts as a release at the call site (and
+// releasing again afterwards is a double release); a call to a function
+// that merely BORROWS its parameter leaves the obligation with the
+// caller. Only buffers passed to functions outside the analyzed program
+// — or to summarized sinks (stores, returns, captures) — transfer
+// ownership conservatively, as does storing in a container or capturing
+// in a closure locally.
 var Poolcheck = &Analyzer{
 	Name: "poolcheck",
 	Doc:  "pooled tensor/pack buffers must be released, returned, or stashed with recycle on every path",
@@ -59,6 +65,17 @@ var poolReleaseFuncs = map[string]bool{
 	"tbd/internal/tensor.putPackBuf":   true,
 	"tbd/internal/tensor.Pool.put":     true,
 	"tbd/internal/tensor.Pool.putPack": true,
+}
+
+// isPoolAcquire reports whether call hands back a fresh pooled buffer:
+// a hard-coded pool entry point or (via the phase-1 summaries) any
+// module function that returns an acquisition.
+func (p *Pass) isPoolAcquire(call *ast.CallExpr) bool {
+	name := p.calleeName(call)
+	if poolAcquires[name] {
+		return true
+	}
+	return p.Prog != nil && p.Prog.ReturnsAcquired(name)
 }
 
 func runPoolcheck(p *Pass) {
@@ -123,7 +140,7 @@ func (pc *poolChecker) findAcquires(body *ast.BlockStmt) []acquireSite {
 		if ok && len(assign.Lhs) == len(assign.Rhs) {
 			for i, rhs := range assign.Rhs {
 				call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
-				if !isCall || !poolAcquires[pc.pass.calleeName(call)] {
+				if !isCall || !pc.pass.isPoolAcquire(call) {
 					continue
 				}
 				seen[call] = true
@@ -146,7 +163,7 @@ func (pc *poolChecker) findAcquires(body *ast.BlockStmt) []acquireSite {
 			}
 		}
 		if es, ok := stmt.(*ast.ExprStmt); ok {
-			if call, isCall := ast.Unparen(es.X).(*ast.CallExpr); isCall && poolAcquires[pc.pass.calleeName(call)] {
+			if call, isCall := ast.Unparen(es.X).(*ast.CallExpr); isCall && pc.pass.isPoolAcquire(call) {
 				seen[call] = true
 				sites = append(sites, acquireSite{call: call, discarded: true})
 			}
@@ -163,7 +180,7 @@ func (pc *poolChecker) findAcquires(body *ast.BlockStmt) []acquireSite {
 			// Any acquisition not bound by a statement above flows
 			// directly (return value, call argument, composite literal
 			// element): ownership transfers and no tracking is needed.
-			if poolAcquires[pc.pass.calleeName(n)] && !seen[n] {
+			if pc.pass.isPoolAcquire(n) && !seen[n] {
 				seen[n] = true
 			}
 		}
@@ -552,13 +569,24 @@ func (w *poolWalker) scan(expr ast.Expr, st poolState) poolState {
 				st.byRelease = true
 				return false
 			}
-			// v passed as a bare argument: ownership transfer.
+			// v passed as a bare argument: the callee's summary decides.
+			// A summarized borrower leaves the obligation here; a
+			// summarized releaser was handled by isReleaseOfV above;
+			// everything else (sinks, unknown callees) transfers
+			// ownership conservatively.
 			if v != nil {
-				for _, arg := range n.Args {
-					if id, ok := ast.Unparen(arg).(*ast.Ident); ok && w.pc.pass.objectOf(id) == v {
-						st.resolved = resolvedAlways
-						st.byRelease = false
+				for i, arg := range n.Args {
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok || w.pc.pass.objectOf(id) != v {
+						continue
 					}
+					if prog := w.pc.pass.Prog; prog != nil {
+						if eff, known := prog.ParamEffect(w.pc.pass.calleeName(n), i); known && eff == ParamBorrows {
+							continue
+						}
+					}
+					st.resolved = resolvedAlways
+					st.byRelease = false
 				}
 			}
 			return true
@@ -576,8 +604,9 @@ func (w *poolWalker) scan(expr ast.Expr, st poolState) poolState {
 }
 
 // isReleaseOfV reports whether call releases the tracked buffer: a
-// Release method on it, or a put-style function taking it as the first
-// argument.
+// Release method on it, a put-style function taking it as the first
+// argument, or (via the phase-1 summaries) any module function whose
+// parameter effect at the buffer's argument position is ParamReleases.
 func (w *poolWalker) isReleaseOfV(call *ast.CallExpr) bool {
 	v := w.site.v
 	if v == nil {
@@ -595,6 +624,15 @@ func (w *poolWalker) isReleaseOfV(call *ast.CallExpr) bool {
 	if poolReleaseFuncs[name] && len(call.Args) > 0 {
 		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
 			return w.pc.pass.objectOf(id) == v
+		}
+	}
+	if prog := w.pc.pass.Prog; prog != nil {
+		for i, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && w.pc.pass.objectOf(id) == v {
+				if eff, known := prog.ParamEffect(name, i); known && eff == ParamReleases {
+					return true
+				}
+			}
 		}
 	}
 	return false

@@ -1,0 +1,85 @@
+// Package atomicfix exercises atomiccheck: mixed atomic/plain access to
+// the same variable and 64-bit alignment of atomic struct fields.
+package atomicfix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // accessed via atomic.AddInt64/LoadInt64
+	extra int
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// plainRead mixes a plain read into an atomic field's access set.
+func (c *counter) plainRead() int64 {
+	return c.hits // want "hits is accessed with sync/atomic elsewhere but accessed plainly here"
+}
+
+// plainWrite is the write-side version of the same race.
+func (c *counter) plainWrite() {
+	c.hits = 0 // want "hits is accessed with sync/atomic elsewhere but accessed plainly here"
+}
+
+// total is a package-level variable with the same contract.
+var total int64
+
+func bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+func snapshot() int64 {
+	return total // want "total is accessed with sync/atomic elsewhere but accessed plainly here"
+}
+
+// reset documents a race-free plain access with a justified escape:
+// clean.
+func reset() {
+	total = 0 //tbd:atomic-ok runs before any worker goroutine starts
+}
+
+// resetBare carries the escape without saying why.
+func resetBare() {
+	//tbd:atomic-ok
+	total = 0 // want "needs a justification"
+}
+
+// gauge puts a 64-bit atomic field after a 4-byte one: offset 4 under
+// 32-bit layout, which sync/atomic documents as a fault.
+type gauge struct {
+	ready int32
+	val   int64 // want "64-bit atomic field val is at offset 4 under 32-bit layout"
+}
+
+func (g *gauge) set(v int64) {
+	atomic.StoreInt64(&g.val, v)
+}
+
+func (g *gauge) get() int64 {
+	return atomic.LoadInt64(&g.val)
+}
+
+// alignedGauge leads with the 64-bit field: clean.
+type alignedGauge struct {
+	val   int64 // atomic; offset 0 is always aligned
+	ready int32
+}
+
+func (g *alignedGauge) set(v int64) {
+	atomic.StoreInt64(&g.val, v)
+}
+
+// typed atomics are exempt: the type system already forbids plain
+// access.
+var typedTotal atomic.Int64
+
+func bumpTyped() int64 {
+	typedTotal.Add(1)
+	return typedTotal.Load()
+}

@@ -1,0 +1,106 @@
+// Package goleakfix exercises goleak: goroutines with and without
+// provable shutdown edges. The test loads it under a synthetic
+// tbd/internal/dist/... import path to land in the analyzer's scope.
+package goleakfix
+
+import "sync"
+
+type server struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	work chan int
+}
+
+// runForever leaks: no Done, no channel edge, no handoff.
+func runForever() {
+	go func() { // want "goroutine has no provable shutdown edge"
+		for {
+			_ = 1
+		}
+	}()
+}
+
+type worker struct{ n int }
+
+// spin has no shutdown edge in its body.
+func (w *worker) spin() {
+	for {
+		w.n++
+	}
+}
+
+// startWorker leaks through a named method: the body is resolved via
+// the phase-1 program and still proves nothing.
+func startWorker(w *worker) {
+	go w.spin() // want "goroutine has no provable shutdown edge"
+}
+
+// waitGroupPaired is clean: Add in the spawner, Done in the body.
+func (s *server) waitGroupPaired() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = 1
+	}()
+}
+
+// closeChannelEdge is clean: the body ranges over a channel the package
+// closes.
+func (s *server) closeChannelEdge() {
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+// selectQuitEdge is clean: the body selects on the quit channel Close
+// closes.
+func (s *server) selectQuitEdge() {
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Close closes the channels the goroutines above watch.
+func (s *server) Close() {
+	close(s.quit)
+	close(s.work)
+}
+
+// boundedHandoff is clean: the goroutine sends its result to a channel
+// the spawner drains, so it cannot outlive the call.
+func boundedHandoff() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// daemon documents a deliberate process-lifetime goroutine: clean.
+func daemon() {
+	//tbd:fire-and-forget metrics flusher lives for the whole process
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// daemonBare carries the escape without saying why.
+func daemonBare() {
+	//tbd:fire-and-forget
+	go func() { // want "needs a justification"
+		for {
+			_ = 1
+		}
+	}()
+}

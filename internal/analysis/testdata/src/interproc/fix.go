@@ -1,0 +1,111 @@
+// Package interprocfix exercises poolcheck's phase-1 summaries: buffer
+// obligations that flow through callees — acquire-wrappers, borrowing
+// helpers, releasing helpers, and sinks.
+package interprocfix
+
+import "tbd/internal/tensor"
+
+type holder struct {
+	kept *tensor.Tensor
+}
+
+// acquireWrapped hands a fresh acquisition to its caller: calling it is
+// itself an acquisition (ReturnsAcquired).
+func acquireWrapped(n int) *tensor.Tensor {
+	return tensor.Acquire(n)
+}
+
+// acquireDeep summarizes through one more layer of wrapping.
+func acquireDeep(n int) *tensor.Tensor {
+	return acquireWrapped(n)
+}
+
+// borrow only reads its argument: the caller keeps the obligation.
+func borrow(t *tensor.Tensor) int {
+	return t.Numel()
+}
+
+// releaseIt releases its argument (ParamReleases): a call counts as the
+// caller's release.
+func releaseIt(t *tensor.Tensor) {
+	t.Release()
+}
+
+// releaseDeep releases through a releasing callee.
+func releaseDeep(t *tensor.Tensor) {
+	releaseIt(t)
+}
+
+// sinkIt stores its argument (ParamSinks): ownership transfers.
+func sinkIt(h *holder, t *tensor.Tensor) {
+	h.kept = t //tbd:retain the holder owns the buffer from here on
+}
+
+// leakThroughCallee: borrowing helpers do not discharge the obligation,
+// so the early return leaks the wrapped acquisition.
+func leakThroughCallee(cond bool) {
+	t := acquireWrapped(4) // want "pooled buffer t leaks on the return path at line"
+	borrow(t)
+	if cond {
+		return
+	}
+	t.Release()
+}
+
+// leakDeepWrapper: the acquisition is visible through two wrappers.
+func leakDeepWrapper(cond bool) {
+	t := acquireDeep(4) // want "pooled buffer t leaks on the return path at line"
+	if cond {
+		return
+	}
+	t.Release()
+}
+
+// releasedInCallee is clean: releaseIt discharges the obligation.
+func releasedInCallee(n int) {
+	t := tensor.Acquire(n)
+	borrow(t)
+	releaseIt(t)
+}
+
+// releasedInDeferredCallee is clean: the deferred releasing helper
+// covers every exit.
+func releasedInDeferredCallee(n int, cond bool) {
+	t := acquireWrapped(n)
+	defer releaseDeep(t)
+	if cond {
+		return
+	}
+	borrow(t)
+}
+
+// doubleReleaseAcrossCalls frees once through the helper and once
+// directly.
+func doubleReleaseAcrossCalls(n int) {
+	t := tensor.Acquire(n)
+	releaseIt(t)
+	t.Release() // want "double release of pooled buffer t"
+}
+
+// doubleReleaseBothInCallees frees twice through releasing helpers.
+func doubleReleaseBothInCallees(n int) {
+	t := tensor.Acquire(n)
+	releaseDeep(t)
+	releaseIt(t) // want "double release of pooled buffer t"
+}
+
+// transferredToSink is clean: the sink takes ownership.
+func transferredToSink(h *holder, n int) {
+	t := acquireWrapped(n)
+	sinkIt(h, t)
+}
+
+// retainedWrapped documents deliberate retention of a wrapped
+// acquisition with the escape comment: clean.
+func retainedWrapped(cond bool) {
+	t := acquireWrapped(4) //tbd:retain freed by the teardown registry
+	if cond {
+		return
+	}
+	t.Release()
+}

@@ -1,0 +1,72 @@
+package lockfix
+
+import "sync"
+
+// Call-boundary verification: //tbd:locked-by-caller turns the guarded
+// access into a precondition, and every call site is checked against
+// the caller's held set.
+
+type svc struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// bumpLocked requires mu held at entry.
+//
+//tbd:locked-by-caller
+func (s *svc) bumpLocked() {
+	s.n++
+}
+
+// wrapLocked chains through another locked-by-caller function; the
+// precondition propagates to its own callers.
+//
+//tbd:locked-by-caller
+func (s *svc) wrapLocked() {
+	s.bumpLocked()
+}
+
+// Bump holds the lock across the call: clean.
+func (s *svc) Bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked()
+}
+
+// BumpUnlocked calls the precondition-carrying helper lock-free.
+func (s *svc) BumpUnlocked() {
+	s.bumpLocked() // want "call to .svc.bumpLocked requires mu held"
+}
+
+// WrapUnlocked trips the propagated precondition two hops up.
+func (s *svc) WrapUnlocked() {
+	s.wrapLocked() // want "call to .svc.wrapLocked requires mu held"
+}
+
+// WrapHeld holds the lock across the chained call: clean.
+func (s *svc) WrapHeld() {
+	s.mu.Lock()
+	s.wrapLocked()
+	s.mu.Unlock()
+}
+
+// newSvc is a pre-publication constructor: no other goroutine can see
+// the struct, so its guarded writes and helper calls carry no
+// obligation.
+//
+//tbd:pre-publication the struct is private until the constructor returns
+func newSvc() *svc {
+	s := &svc{}
+	s.n = 1
+	s.bumpLocked()
+	return s
+}
+
+// newSvcBare claims pre-publication without saying why.
+//
+//tbd:pre-publication
+func newSvcBare() *svc { // want "needs a justification"
+	s := &svc{}
+	s.n = 2
+	return s
+}

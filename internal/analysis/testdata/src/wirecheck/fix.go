@@ -1,0 +1,52 @@
+// Package wirefix exercises wirecheck: a //tbd:wire-kinds vocabulary
+// whose constants must appear on both the encode and decode sides of a
+// hand-rolled protocol.
+package wirefix
+
+// The protocol vocabulary under check.
+//
+//tbd:wire-kinds
+const (
+	kindPing = "ping"
+	kindPong = "pong" // want "wire kind kindPong is encoded but never decoded"
+	kindAck  = "ack"  // want "wire kind kindAck is decoded but never encoded"
+	kindGone = "gone" // want "wire kind kindGone is never used on either side"
+	kindV2   = "v2"   //tbd:wire-ok reserved for the next protocol rev
+	//tbd:wire-ok
+	kindOld = "old" // want "needs a justification"
+)
+
+// unchecked is an ordinary const group: wirecheck ignores it even
+// though it is one-sided.
+const (
+	colorRed  = "red"
+	colorBlue = "blue"
+)
+
+type msg struct {
+	kind string
+}
+
+// encode puts kindPing and kindPong on the wire; kindPong never comes
+// back out of a decoder.
+func encode(pong bool) msg {
+	if pong {
+		return msg{kind: kindPong}
+	}
+	return msg{kind: kindPing}
+}
+
+// decode handles kindPing in a switch and kindAck via comparison, but
+// nothing ever encodes kindAck.
+func decode(m msg) int {
+	switch m.kind {
+	case kindPing:
+		return 1
+	}
+	if m.kind == kindAck {
+		return 2
+	}
+	_ = colorRed
+	_ = colorBlue
+	return 0
+}

@@ -22,10 +22,23 @@ import (
 // bit-for-bit run to run — the same determinism discipline the ring
 // all-reduce keeps via its fixed hop order.
 
+// The parameter-server request vocabulary. Wirecheck holds every kind
+// to both sides of the protocol: a kind encoded by the client but
+// missing from the server's decode switch would be silently rejected as
+// unknown — the classic skew bug of hand-rolled protocols.
+//
+//tbd:wire-kinds
+const (
+	kindPull   = "pull"
+	kindPush   = "push"   // full-precision gradients
+	kindPush16 = "push16" // fp16-compressed gradients
+	kindPush8  = "push8"  // int8-quantized gradients
+)
+
 // psRequest is one worker->server message.
 type psRequest struct {
-	// Kind is "pull", "push", "push16" (fp16 gradients), or "push8"
-	// (int8-quantized gradients).
+	// Kind is kindPull, kindPush, kindPush16 (fp16 gradients), or
+	// kindPush8 (int8-quantized gradients).
 	Kind  string
 	Grads [][]float32
 	// HalfGrads carries fp16-compressed gradients for "push16" — half
@@ -89,7 +102,7 @@ type PSServer struct {
 // initialized before the accept loop (the first other goroutine)
 // starts, so construction needs no lock.
 //
-//tbd:locked-by-caller
+//tbd:pre-publication guarded fields are written before the accept goroutine (the first concurrent observer) starts
 func ServePS(l net.Listener, params []*layers.Param, opt optim.Optimizer, workers int) *PSServer {
 	if workers <= 0 {
 		panic("dist: parameter server needs at least one worker")
@@ -224,9 +237,9 @@ func (s *PSServer) serveConn(conn net.Conn) {
 		}
 		var resp psResponse
 		switch req.Kind {
-		case "pull":
+		case kindPull:
 			resp = s.handlePull()
-		case "push", "push16", "push8":
+		case kindPush, kindPush16, kindPush8:
 			grads, err := s.decodeGrads(&req)
 			if err != nil {
 				resp = psResponse{Err: err.Error()}
@@ -247,15 +260,15 @@ func (s *PSServer) serveConn(conn net.Conn) {
 // decodeGrads expands a push payload to full-precision per-tensor slices.
 func (s *PSServer) decodeGrads(req *psRequest) ([][]float32, error) {
 	switch req.Kind {
-	case "push":
+	case kindPush:
 		return req.Grads, nil
-	case "push16":
+	case kindPush16:
 		grads := make([][]float32, len(req.HalfGrads))
 		for i, hg := range req.HalfGrads {
 			grads[i] = tensor.DecodeHalf(hg)
 		}
 		return grads, nil
-	case "push8":
+	case kindPush8:
 		if len(req.Scales) != len(req.Int8Grads) {
 			return nil, fmt.Errorf("push8 with %d scales for %d tensors", len(req.Scales), len(req.Int8Grads))
 		}
@@ -505,14 +518,14 @@ func (c *PSClient) roundTrip(req psRequest) (psResponse, error) {
 
 // Pull fetches the current weights and version.
 func (c *PSClient) Pull() ([][]float32, int, error) {
-	resp, err := c.roundTrip(psRequest{Kind: "pull"})
+	resp, err := c.roundTrip(psRequest{Kind: kindPull})
 	return resp.Weights, resp.Version, err
 }
 
 // Push submits this worker's gradients and blocks until the synchronous
 // round is applied, returning the post-update weights.
 func (c *PSClient) Push(grads [][]float32) ([][]float32, int, error) {
-	resp, err := c.roundTrip(psRequest{Kind: "push", Grads: grads})
+	resp, err := c.roundTrip(psRequest{Kind: kindPush, Grads: grads})
 	return resp.Weights, resp.Version, err
 }
 
@@ -537,7 +550,7 @@ func (c *PSClient) PushRanked(rank int, comp Compression, grads [][]float32) ([]
 	case CompressInt8:
 		req = c.encodeInt8(grads, rank)
 	default:
-		req = psRequest{Kind: "push", Grads: grads, Ranked: true, Rank: rank}
+		req = psRequest{Kind: kindPush, Grads: grads, Ranked: true, Rank: rank}
 	}
 	resp, err := c.roundTrip(req)
 	return resp.Weights, resp.Version, err
@@ -548,7 +561,7 @@ func (c *PSClient) encodeHalf(grads [][]float32, ranked bool, rank int) psReques
 	for i, g := range grads {
 		hg[i] = tensor.EncodeHalf(g)
 	}
-	return psRequest{Kind: "push16", HalfGrads: hg, Ranked: ranked, Rank: rank}
+	return psRequest{Kind: kindPush16, HalfGrads: hg, Ranked: ranked, Rank: rank}
 }
 
 func (c *PSClient) encodeInt8(grads [][]float32, rank int) psRequest {
@@ -567,7 +580,7 @@ func (c *PSClient) encodeInt8(grads [][]float32, rank int) psRequest {
 		qs[i] = make([]byte, len(g))
 		scales[i] = c.quant.QuantizeAt(c.offs[i], g, qs[i])
 	}
-	return psRequest{Kind: "push8", Int8Grads: qs, Scales: scales, Ranked: true, Rank: rank}
+	return psRequest{Kind: kindPush8, Int8Grads: qs, Scales: scales, Ranked: true, Rank: rank}
 }
 
 // LoadWeights copies pulled weights into a parameter list.

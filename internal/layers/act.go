@@ -132,7 +132,7 @@ func (l *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.Apply(x, sigmoid)
 	l.out = y
 	if train {
-		l.y = y
+		l.y = y //tbd:retain alias of l.out, which the next Forward releases
 	} else {
 		l.y = nil
 	}
@@ -170,7 +170,7 @@ func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	y := tensor.Apply(x, tensor.Tanh32)
 	l.out = y
 	if train {
-		l.y = y
+		l.y = y //tbd:retain alias of l.out, which the next Forward releases
 	} else {
 		l.y = nil
 	}

@@ -122,8 +122,10 @@ func (l *MultiHeadAttention) Forward(x *tensor.Tensor, train bool) *tensor.Tenso
 		}
 	}
 	att := tensor.SoftmaxRows(scores.Reshape(scores.Dim(0)*T, T)).Reshape(n*l.Heads, T, T)
+	scores.Release() // SoftmaxRows copied; the raw scores are dead
 	ctxH := tensor.BatchMatMul(att, vh) // [NH, T, dh]
 	ctx := fromHeads(ctxH, n, l.Heads)  // [N, T, D]
+	ctxH.Release()                      // fromHeads copied
 	out := project(ctx, l.Wo)
 	if train {
 		l.x, l.q, l.k, l.v, l.att, l.ctx = x, q, k, v, att, ctx
@@ -170,6 +172,7 @@ func (l *MultiHeadAttention) Backward(gy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	gscores.ScaleInPlace(1 / float32(math.Sqrt(float64(dh))))
+	gatt.Release() // consumed by the softmax-backward loop above
 
 	// scores = qh @ khᵀ.
 	gqh := tensor.BatchMatMul(gscores, kh)                // [NH, T, dh]
@@ -178,6 +181,9 @@ func (l *MultiHeadAttention) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	gq := fromHeads(gqh, n, heads).Reshape(n*T, d)
 	gk := fromHeads(gkh, n, heads).Reshape(n*T, d)
 	gv := fromHeads(gvh, n, heads).Reshape(n*T, d)
+	gqh.Release() // fromHeads copied all three
+	gkh.Release()
+	gvh.Release()
 	x2 := l.x.Reshape(n*T, d)
 	tensor.AddInPlace(l.Wq.Grad, tensor.MatMulTransA(x2, gq))
 	tensor.AddInPlace(l.Wk.Grad, tensor.MatMulTransA(x2, gk))

@@ -81,8 +81,10 @@ func (l *CrossAttention) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	scores := tensor.BatchMatMul(qh, transposeLast(kh)) // [NH, Td, Te]
 	scores.ScaleInPlace(1 / float32(math.Sqrt(float64(dh))))
 	att := tensor.SoftmaxRows(scores.Reshape(n*l.Heads*td, te)).Reshape(n*l.Heads, td, te)
+	scores.Release() // SoftmaxRows copied; the raw scores are dead
 	ctxH := tensor.BatchMatMul(att, vh)
 	ctx := fromHeads(ctxH, n, l.Heads)
+	ctxH.Release() // fromHeads copied
 	out := project(ctx, l.Wo)
 	if train {
 		l.x, l.k, l.v, l.att, l.ctx = x, k, v, att, ctx
@@ -126,6 +128,7 @@ func (l *CrossAttention) Backward(gy *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	gscores.ScaleInPlace(1 / float32(math.Sqrt(float64(dh))))
+	gatt.Release() // consumed by the softmax-backward loop above
 
 	gqh := tensor.BatchMatMul(gscores, kh)                // [NH, Td, dh]
 	gkh := tensor.BatchMatMul(transposeLast(gscores), qh) // [NH, Te, dh]
@@ -133,6 +136,9 @@ func (l *CrossAttention) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	gq := fromHeads(gqh, n, heads).Reshape(n*td, d)
 	gk := fromHeads(gkh, n, heads).Reshape(n*te, d)
 	gv := fromHeads(gvh, n, heads).Reshape(n*te, d)
+	gqh.Release() // fromHeads copied all three
+	gkh.Release()
+	gvh.Release()
 
 	x2 := l.x.Reshape(n*td, d)
 	mem2 := l.memory.Reshape(n*te, d)

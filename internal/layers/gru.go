@@ -74,6 +74,8 @@ func (l *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				hNew.Data()[k] = (1-zv)*nv + zv*h.Data()[k]
 			}
 		}
+		zx.Release() // gate pre-activations are folded into the step state above
+		zh.Release()
 		if train {
 			l.steps = append(l.steps, gruStep{x: xt, hPrev: h, z: zg, r: rg, n: ng, hWhn: hWhn})
 		}

@@ -64,7 +64,7 @@ func (m *EncoderDecoder) Forward(src, tgtIn *tensor.Tensor, train bool) *tensor.
 func (m *EncoderDecoder) Step(opt optim.Optimizer, src, tgtIn *tensor.Tensor, targets []int, clip float32) (float32, float64) {
 	params := m.Params()
 	optim.ZeroGrads(params)
-	out := m.Forward(src, tgtIn, true)
+	out := m.Forward(src, tgtIn, true) //tbd:retain the projection layer owns its forward buffer and releases it on the next step
 	rows := len(targets)
 	logits := out.Reshape(rows, out.Numel()/rows)
 	loss, grad := tensor.CrossEntropy(logits, targets)

@@ -83,6 +83,7 @@ func Replay(t *Trace, sc *Scenario) (*Prediction, error) {
 	if len(t.Ranks) == 0 {
 		rankBase[0] = t.WallUs
 	}
+	//tbd:nondeterministic-ok copies map entries key-by-key; each key written once, order-free
 	for r, w := range rankBase {
 		rankPred[r] = w
 	}
@@ -101,13 +102,16 @@ func Replay(t *Trace, sc *Scenario) (*Prediction, error) {
 		p.BaselineStepUs /= float64(p.Steps)
 		p.PredictedStepUs /= float64(p.Steps)
 	}
+	//tbd:nondeterministic-ok per-key increment of distinct entries; order-free
 	for r, n := range rankSteps {
 		rankPred[r] += float64(n) * transferUsPerStep
 	}
 	// Cluster wall = slowest rank, before and after.
+	//tbd:nondeterministic-ok max over map values is order-independent
 	for _, w := range rankBase {
 		p.BaselineWallUs = math.Max(p.BaselineWallUs, w)
 	}
+	//tbd:nondeterministic-ok max over map values is order-independent
 	for _, w := range rankPred {
 		p.PredictedWallUs = math.Max(p.PredictedWallUs, w)
 	}
